@@ -1,0 +1,58 @@
+#ifndef QBASIS_BENCH_COMMON_HPP
+#define QBASIS_BENCH_COMMON_HPP
+
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Environment knobs:
+ *   QBASIS_EDGE_LIMIT=k  simulate only the first k device edges and
+ *                        replicate them (quick smoke runs).
+ *   QBASIS_ROWS / QBASIS_COLS  shrink the device grid.
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace qbasis {
+namespace bench {
+
+inline int
+envInt(const char *name, int fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::atoi(v);
+}
+
+inline GridDeviceParams
+paperDeviceParams()
+{
+    GridDeviceParams p;
+    p.rows = envInt("QBASIS_ROWS", 10);
+    p.cols = envInt("QBASIS_COLS", 10);
+    return p;
+}
+
+inline DeviceCalibrationOptions
+calibrationOptions(double max_ns)
+{
+    DeviceCalibrationOptions opts;
+    opts.max_ns = max_ns;
+    opts.edge_limit = envInt("QBASIS_EDGE_LIMIT", -1);
+    return opts;
+}
+
+/** The paper's constants. */
+inline constexpr double kOneQubitNs = 20.0;
+inline constexpr double kCoherenceNs = 80e3; // T = 80 us
+inline constexpr double kBaselineXi = 0.005;
+inline constexpr double kStrongXi = 0.04;
+
+} // namespace bench
+} // namespace qbasis
+
+#endif // QBASIS_BENCH_COMMON_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduces Fig. 4: the decomposition-power regions of Section V.
+ *
+ * (a)   the L0/L1 segments of gates that synthesize SWAP in 2 layers
+ *       of one gate;
+ * (b)   mirror pairs for 2-layer SWAP synthesis (Appendix B);
+ * (c,d) the four tetrahedra of gates unable to do SWAP in 3 layers;
+ *       the able set covers 68.5% of the chamber;
+ * (e)   the three tetrahedra for CNOT in 2 layers; able set 75%;
+ * (f)   the intersection used by Criterion 2.
+ *
+ * Every closed-form region is cross-validated against the numerical
+ * two-layer feasibility oracle.
+ */
+
+#include <cstdio>
+
+#include "monodromy/mirror.hpp"
+#include "monodromy/oracle.hpp"
+#include "monodromy/regions.hpp"
+#include "monodromy/volume.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "weyl/gates.hpp"
+#include "weyl/geometry.hpp"
+#include "weyl/invariants.hpp"
+
+using namespace qbasis;
+
+int
+main()
+{
+    std::printf("=== Figure 4: regions of decomposition power ===\n\n");
+
+    // (a) L0 / L1 segments.
+    CartanCoords a0, b0, a1, b1;
+    l0Segment(a0, b0);
+    l1Segment(a1, b1);
+    std::printf("(a) SWAP-in-2 (single gate) segments:\n");
+    std::printf("    L0: %s -> %s   (B gate to sqrt(SWAP))\n",
+                a0.str(3).c_str(), b0.str(3).c_str());
+    std::printf("    L1: %s -> %s   (B gate to sqrt(SWAP)^dag)\n\n",
+                a1.str(3).c_str(), b1.str(3).c_str());
+
+    // (b) Mirror pairs.
+    std::printf("(b) SWAP-in-2 mirror pairs (Appendix B):\n");
+    TextTable mirrors({"gate", "coords", "mirror", "example"});
+    mirrors.addRow({"CNOT", coords::cnot().str(3),
+                    swapMirror(coords::cnot()).str(3),
+                    "CNOT + iSWAP -> SWAP"});
+    mirrors.addRow({"B", coords::bGate().str(3),
+                    swapMirror(coords::bGate()).str(3),
+                    "self-mirror (on L0)"});
+    mirrors.addRow({"sqiSW", coords::sqrtIswap().str(3),
+                    swapMirror(coords::sqrtIswap()).str(3), ""});
+    mirrors.print();
+
+    // (c,d,e) Region volumes.
+    double swap3_complement = 0.0;
+    for (const Tetrahedron &t : swap3ComplementTetrahedra())
+        swap3_complement += t.volume();
+    double cnot2_complement = 0.0;
+    for (const Tetrahedron &t : cnot2ComplementTetrahedra())
+        cnot2_complement += t.volume();
+
+    Rng rng(4242);
+    const int samples = 200000;
+    const double frac_swap3 = chamberVolumeFraction(
+        [](const CartanCoords &c) {
+            return canSynthesizeSwapIn3Layers(c);
+        },
+        samples, rng);
+    const double frac_cnot2 = chamberVolumeFraction(
+        [](const CartanCoords &c) {
+            return canSynthesizeCnotIn2Layers(c);
+        },
+        samples, rng);
+    const double frac_both = chamberVolumeFraction(
+        [](const CartanCoords &c) { return inCriterion2Region(c); },
+        samples, rng);
+
+    std::printf("\n(c,d,e,f) chamber volume fractions "
+                "(MC, %dk samples):\n", samples / 1000);
+    TextTable vols({"region", "closed-form", "Monte Carlo", "paper"});
+    vols.addRow({"SWAP in <=3 layers",
+                 fmtFixed(1.0 - swap3_complement / weylChamberVolume(),
+                          4),
+                 fmtFixed(frac_swap3, 4), "0.685"});
+    vols.addRow({"CNOT in <=2 layers",
+                 fmtFixed(1.0 - cnot2_complement / weylChamberVolume(),
+                          4),
+                 fmtFixed(frac_cnot2, 4), "0.75"});
+    vols.addRow({"both (Criterion 2)", "-", fmtFixed(frac_both, 4),
+                 "-"});
+    vols.print();
+
+    // Oracle cross-validation away from region boundaries.
+    std::printf("\ncross-validating the closed-form regions against "
+                "the numerical oracle...\n");
+    OracleOptions oopts;
+    int agree = 0, total = 0;
+    Rng rng2(77);
+    while (total < 60) {
+        const CartanCoords c = sampleChamberPoint(rng2);
+        bool near_boundary = false;
+        for (const Tetrahedron &t : swap3ComplementTetrahedra())
+            if (t.contains(c, 0.02) != t.contains(c, -0.02))
+                near_boundary = true;
+        if (near_boundary)
+            continue;
+        ++total;
+        const Mat4 g = canonicalGate(c.tx, c.ty, c.tz);
+        const bool region = canSynthesizeSwapIn3Layers(c);
+        const bool oracle =
+            uniformLayerFeasible(swapGate(), g, 3, oopts);
+        agree += (region == oracle);
+    }
+    std::printf("SWAP-3 region vs oracle agreement: %d/%d\n", agree,
+                total);
+    return 0;
+}

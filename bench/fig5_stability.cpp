@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Reproduces Fig. 5: stability of the Cartan trajectories over
+ * entangling pulse drive amplitude and over (simulated) days.
+ *
+ * The paper observed that doubling the drive amplitude doubles the
+ * trajectory speed while preserving its shape, and that the
+ * trajectories stay qualitatively similar over a multi-day window.
+ * Here the same unit cell is simulated at xi = 0.005 and 0.01, and
+ * day-scale drift is applied to the device parameters between
+ * repeated measurements.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "calib/drift.hpp"
+#include "sim/propagator.hpp"
+#include "util/table.hpp"
+
+using namespace qbasis;
+using namespace qbasis::bench;
+
+namespace {
+
+/** Max coordinate distance between trajectories sampled on a common
+ *  scaled time axis (shape-similarity metric). */
+double
+shapeDistance(const Trajectory &slow, const Trajectory &fast,
+              double speed_ratio)
+{
+    double worst = 0.0;
+    for (size_t i = 0; i < fast.size(); ++i) {
+        const double t_slow = fast.at(i).duration * speed_ratio;
+        // Nearest slow sample.
+        size_t j = static_cast<size_t>(t_slow + 0.5);
+        if (j >= slow.size())
+            break;
+        worst = std::max(worst, fast.at(i).coords.distance(
+                                    slow.at(j).coords));
+    }
+    return worst;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 5: trajectory stability ===\n\n");
+
+    const GridDevice device{paperDeviceParams()};
+    const PairDeviceParams params = device.edgeParams(0);
+
+    // --- amplitude doubling ---
+    const PairSimulator sim(params, device.couplerOmegaMax());
+    const double wd1 = sim.calibrateDriveFrequency(0.005);
+    const double wd2 = sim.calibrateDriveFrequency(0.010);
+    const Trajectory t1 = sim.simulateTrajectory(0.005, wd1, 100.0);
+    const Trajectory t2 = sim.simulateTrajectory(0.010, wd2, 50.0);
+
+    TextTable table({"t (ns) @ xi=0.005", "coords",
+                     "t (ns) @ xi=0.01", "coords (2x speed)"});
+    for (size_t i = 10; i < t2.size(); i += 10) {
+        const size_t j = 2 * i;
+        if (j >= t1.size())
+            break;
+        table.addRow({fmtFixed(t1.at(j).duration, 0),
+                      t1.at(j).coords.str(3),
+                      fmtFixed(t2.at(i).duration, 0),
+                      t2.at(i).coords.str(3)});
+    }
+    table.print();
+    std::printf("\nshape distance under 2x time rescale: %.4f "
+                "(qualitatively similar trajectories, paper "
+                "Fig. 5)\n\n", shapeDistance(t1, t2, 2.0));
+
+    // --- day-scale drift ---
+    std::printf("day-to-day stability under parameter drift:\n");
+    Rng rng(55);
+    DriftModel drift;
+    TextTable days({"day", "coords @ 20 ns", "distance to day 0"});
+    PairDeviceParams drifting = params;
+    CartanCoords day0;
+    for (int day = 0; day <= 4; ++day) {
+        const PairSimulator day_sim(drifting,
+                                    device.couplerOmegaMax());
+        const double wd = day_sim.calibrateDriveFrequency(0.01);
+        const Trajectory traj =
+            day_sim.simulateTrajectory(0.01, wd, 21.0);
+        const CartanCoords c = traj.at(20).coords;
+        if (day == 0)
+            day0 = c;
+        days.addRow({strformat("%d", day), c.str(4),
+                     fmtFixed(c.distance(day0), 5)});
+        drifting = driftParams(drifting, drift, rng);
+    }
+    days.print();
+    std::printf("\ntrajectories stay qualitatively similar across "
+                "days; the initial tuneup's duration guess remains "
+                "valid (Section VI).\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Device tour: simulate one qubit pair of the case-study
+ * architecture end to end -- zero-ZZ bias, drive calibration,
+ * trajectory generation -- and compare what each selection criterion
+ * picks from the same nonstandard trajectory.
+ */
+
+#include <cstdio>
+
+#include "core/criteria.hpp"
+#include "core/selector.hpp"
+#include "sim/device.hpp"
+#include "sim/propagator.hpp"
+#include "util/table.hpp"
+#include "weyl/invariants.hpp"
+
+using namespace qbasis;
+
+int
+main()
+{
+    std::printf("== basis selection tour on one simulated pair ==\n\n");
+
+    GridDeviceParams params;
+    params.rows = 2;
+    params.cols = 2;
+    const GridDevice device{params};
+    const PairDeviceParams pair = device.edgeParams(0);
+
+    std::printf("pair: f_a = %.3f GHz, f_b = %.3f GHz, coupler "
+                "g/2pi = %.0f MHz\n", pair.qubit_a.omega / kTwoPi,
+                pair.qubit_b.omega / kTwoPi,
+                1e3 * pair.g_ac / kTwoPi);
+
+    const PairSimulator sim(pair, device.couplerOmegaMax());
+    std::printf("zero-ZZ bias at omega_c = %.3f GHz (flux %.3f "
+                "Phi0), residual %.1e rad/ns\n", sim.omegaC0() / kTwoPi,
+                sim.phiDc(), sim.zzResidual());
+
+    const double xi = 0.04;
+    const double wd = sim.calibrateDriveFrequency(xi);
+    std::printf("drive: xi = %.3f Phi0 at %.4f GHz\n\n", xi,
+                wd / kTwoPi);
+
+    const Trajectory traj = sim.simulateTrajectory(xi, wd, 30.0);
+    std::printf("trajectory: %zu samples, max leakage %.1e\n\n",
+                traj.size(), traj.maxLeakage());
+
+    TextTable table({"criterion", "t (ns)", "coords", "ep",
+                     "leakage"});
+    for (SelectionCriterion crit :
+         {SelectionCriterion::Criterion1,
+          SelectionCriterion::Criterion2,
+          SelectionCriterion::PerfectEntangler,
+          SelectionCriterion::PeAndSwap3}) {
+        const auto sel = selectBasisGate(traj, crit);
+        if (!sel) {
+            table.addRow({criterionName(crit), "-", "no crossing",
+                          "-", "-"});
+            continue;
+        }
+        table.addRow({criterionName(crit),
+                      fmtFixed(sel->duration_ns, 0),
+                      sel->coords.str(4),
+                      fmtFixed(entanglingPower(sel->coords), 4),
+                      strformat("%.1e", sel->leakage)});
+    }
+    table.print();
+
+    std::printf("\nCriterion 1 picks the fastest SWAP-capable gate; "
+                "Criterion 2 waits slightly longer for a 2-layer "
+                "CNOT; the PE criterion fires first but may cost "
+                "deeper SWAP circuits.\n");
+    return 0;
+}

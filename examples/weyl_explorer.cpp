@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Weyl-chamber explorer: inspect any two-qubit gate class from the
+ * command line.
+ *
+ * Usage:
+ *   weyl_explorer                 # tour of the named gates
+ *   weyl_explorer tx ty tz        # inspect CAN(tx, ty, tz)
+ *
+ * For each gate it prints the canonical coordinates, Makhlin
+ * invariants, entangling power, perfect-entangler status, the
+ * SWAP-mirror partner, and the decomposition-power facts of
+ * Section V (SWAP in 1/2/3 layers, CNOT in 2 layers, predicted
+ * depths).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "monodromy/depth.hpp"
+#include "monodromy/mirror.hpp"
+#include "monodromy/regions.hpp"
+#include "weyl/gates.hpp"
+#include "weyl/invariants.hpp"
+
+using namespace qbasis;
+
+namespace {
+
+void
+inspect(const char *name, const CartanCoords &raw)
+{
+    const CartanCoords c = canonicalize(raw);
+    const MakhlinInvariants inv = invariantsFromCoords(c);
+    std::printf("%s\n", name);
+    std::printf("  canonical coords : %s\n", c.str(4).c_str());
+    std::printf("  Makhlin invariants: g1 = %+.4f%+.4fi, g2 = %+.4f\n",
+                inv.g1.real(), inv.g1.imag(), inv.g2);
+    std::printf("  entangling power : %.4f (max 2/9 = %.4f)\n",
+                entanglingPower(c), 2.0 / 9.0);
+    std::printf("  perfect entangler: %s\n",
+                isPerfectEntangler(c) ? "yes" : "no");
+    std::printf("  SWAP mirror      : %s%s\n",
+                swapMirror(c).str(4).c_str(),
+                isSwapMirrorFixedPoint(c)
+                    ? "  (self-mirror: SWAP in 2 layers)"
+                    : "");
+    std::printf("  SWAP in <=3 layers: %s   CNOT in <=2 layers: %s\n",
+                canSynthesizeSwapIn3Layers(c) ? "yes" : "no",
+                canSynthesizeCnotIn2Layers(c) ? "yes" : "no");
+    const Mat4 g = canonicalGate(c.tx, c.ty, c.tz);
+    std::printf("  predicted depths : SWAP %d, CNOT %d\n\n",
+                predictSwapDepth(c), predictCnotDepth(g));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 4) {
+        const CartanCoords c{std::atof(argv[1]), std::atof(argv[2]),
+                             std::atof(argv[3])};
+        inspect("CAN(custom)", c);
+        return 0;
+    }
+
+    std::printf("== Weyl chamber tour (pass 'tx ty tz' to inspect "
+                "your own point) ==\n\n");
+    inspect("CNOT / CZ", coords::cnot());
+    inspect("iSWAP", coords::iswap());
+    inspect("SWAP", coords::swap());
+    inspect("sqrt(iSWAP)", coords::sqrtIswap());
+    inspect("sqrt(SWAP)", coords::sqrtSwap());
+    inspect("B gate", coords::bGate());
+    inspect("a nonstandard strong-drive gate", {0.25, 0.25, 0.03});
+    return 0;
+}

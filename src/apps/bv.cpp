@@ -1,0 +1,44 @@
+#include "apps/bv.hpp"
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Circuit
+bvCircuit(int total_qubits, const std::vector<bool> &secret)
+{
+    if (total_qubits < 2)
+        fatal("bvCircuit needs at least 2 qubits");
+    const int data = total_qubits - 1;
+    if (secret.size() != static_cast<size_t>(data))
+        fatal("secret size %zu != data qubit count %d", secret.size(),
+              data);
+
+    Circuit c(total_qubits);
+    const int anc = data;
+    // Prepare |-> on the ancilla, |+> on the data qubits.
+    c.x(anc);
+    c.h(anc);
+    for (int q = 0; q < data; ++q)
+        c.h(q);
+    // Oracle: phase kickback per secret bit.
+    for (int q = 0; q < data; ++q) {
+        if (secret[q])
+            c.cx(q, anc);
+    }
+    // Decode.
+    for (int q = 0; q < data; ++q)
+        c.h(q);
+    c.h(anc);
+    c.x(anc);
+    return c;
+}
+
+Circuit
+bvAllOnesCircuit(int total_qubits)
+{
+    return bvCircuit(total_qubits,
+                     std::vector<bool>(total_qubits - 1, true));
+}
+
+} // namespace qbasis

@@ -1,0 +1,81 @@
+#include "apps/cuccaro.hpp"
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+void
+appendToffoli(Circuit &c, int ctrl_a, int ctrl_b, int target)
+{
+    // Standard 6-CNOT, 7-T decomposition.
+    c.h(target);
+    c.cx(ctrl_b, target);
+    c.append(makeGate1(GateKind::Tdg, target));
+    c.cx(ctrl_a, target);
+    c.t(target);
+    c.cx(ctrl_b, target);
+    c.append(makeGate1(GateKind::Tdg, target));
+    c.cx(ctrl_a, target);
+    c.t(ctrl_b);
+    c.t(target);
+    c.h(target);
+    c.cx(ctrl_a, ctrl_b);
+    c.t(ctrl_a);
+    c.append(makeGate1(GateKind::Tdg, ctrl_b));
+    c.cx(ctrl_a, ctrl_b);
+}
+
+namespace {
+
+/** MAJ block: (x, y, z) with carry x, sum bit y, operand z. */
+void
+maj(Circuit &c, int x, int y, int z)
+{
+    c.cx(z, y);
+    c.cx(z, x);
+    appendToffoli(c, x, y, z);
+}
+
+/** UMA block (2-CNOT variant). */
+void
+uma(Circuit &c, int x, int y, int z)
+{
+    appendToffoli(c, x, y, z);
+    c.cx(z, x);
+    c.cx(x, y);
+}
+
+} // namespace
+
+Circuit
+cuccaroAdderCircuit(int n_bits)
+{
+    if (n_bits < 1)
+        fatal("cuccaroAdderCircuit needs n >= 1");
+    const int n = n_bits;
+    Circuit c(2 * n + 2);
+    auto a = [](int i) { return 1 + i; };
+    auto b = [n](int i) { return 1 + n + i; };
+    const int carry_in = 0;
+    const int carry_out = 2 * n + 1;
+
+    maj(c, carry_in, b(0), a(0));
+    for (int i = 1; i < n; ++i)
+        maj(c, a(i - 1), b(i), a(i));
+    c.cx(a(n - 1), carry_out);
+    for (int i = n - 1; i >= 1; --i)
+        uma(c, a(i - 1), b(i), a(i));
+    uma(c, carry_in, b(0), a(0));
+    return c;
+}
+
+Circuit
+cuccaroAdderByTotalQubits(int total_qubits)
+{
+    if (total_qubits < 4 || total_qubits % 2 != 0)
+        fatal("cuccaro total qubits must be even and >= 4 (got %d)",
+              total_qubits);
+    return cuccaroAdderCircuit((total_qubits - 2) / 2);
+}
+
+} // namespace qbasis

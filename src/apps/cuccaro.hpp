@@ -1,0 +1,33 @@
+#ifndef QBASIS_APPS_CUCCARO_HPP
+#define QBASIS_APPS_CUCCARO_HPP
+
+/**
+ * @file
+ * Cuccaro ripple-carry adder [11] on 2n+2 qubits, with Toffolis
+ * decomposed into the standard 6-CNOT construction (the paper's
+ * evaluation compiles to 1Q/2Q gates only).
+ *
+ * Register layout: qubit 0 = carry-in ancilla, qubits 1..n = a
+ * (LSB first at 1), qubits n+1..2n = b, qubit 2n+1 = carry-out.
+ * Computes |a>|b> -> |a>|a+b>, carry-out in the last qubit.
+ */
+
+#include "circuit/circuit.hpp"
+
+namespace qbasis {
+
+/** Decomposed Toffoli appended in place (controls a, b; target c). */
+void appendToffoli(Circuit &c, int ctrl_a, int ctrl_b, int target);
+
+/** Cuccaro adder for n-bit operands (total 2n+2 qubits). */
+Circuit cuccaroAdderCircuit(int n_bits);
+
+/**
+ * Cuccaro adder sized by total qubit count (must be even, >= 6);
+ * "cuccaro 10" means 10 qubits = 4-bit operands.
+ */
+Circuit cuccaroAdderByTotalQubits(int total_qubits);
+
+} // namespace qbasis
+
+#endif // QBASIS_APPS_CUCCARO_HPP

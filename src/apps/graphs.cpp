@@ -1,0 +1,19 @@
+#include "apps/graphs.hpp"
+
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+std::vector<std::pair<int, int>>
+erdosRenyiGraph(int n, double p, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            if (rng.uniform() < p)
+                edges.emplace_back(i, j);
+    return edges;
+}
+
+} // namespace qbasis

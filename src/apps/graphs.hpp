@@ -1,0 +1,23 @@
+#ifndef QBASIS_APPS_GRAPHS_HPP
+#define QBASIS_APPS_GRAPHS_HPP
+
+/**
+ * @file
+ * Random graph generation for the QAOA benchmarks: Erdos-Renyi
+ * G(n, p) with a fixed seed per instance (paper Table II uses edge
+ * probabilities 0.1 and 0.33).
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qbasis {
+
+/** Erdos-Renyi G(n, p) edge list (deterministic for a given seed). */
+std::vector<std::pair<int, int>> erdosRenyiGraph(int n, double p,
+                                                 uint64_t seed);
+
+} // namespace qbasis
+
+#endif // QBASIS_APPS_GRAPHS_HPP

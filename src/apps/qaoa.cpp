@@ -1,0 +1,38 @@
+#include "apps/qaoa.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Circuit
+qaoaCircuit(int n, const std::vector<std::pair<int, int>> &edges,
+            const QaoaParams &params)
+{
+    if (n < 2)
+        fatal("qaoaCircuit needs n >= 2");
+    Circuit c(n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int round = 0; round < params.rounds; ++round) {
+        for (const auto &[u, v] : edges)
+            c.rzz(u, v, 2.0 * params.gamma);
+        for (int q = 0; q < n; ++q)
+            c.rx(q, 2.0 * params.beta);
+    }
+    return c;
+}
+
+Circuit
+qaoaErdosRenyiCircuit(int n, double edge_probability,
+                      const QaoaParams &params)
+{
+    const uint64_t seed =
+        0x9a0aull * 1000003ull + static_cast<uint64_t>(n) * 1009ull
+        + static_cast<uint64_t>(std::llround(edge_probability * 1000));
+    const auto edges = erdosRenyiGraph(n, edge_probability, seed);
+    return qaoaCircuit(n, edges, params);
+}
+
+} // namespace qbasis

@@ -1,0 +1,40 @@
+#ifndef QBASIS_APPS_QAOA_HPP
+#define QBASIS_APPS_QAOA_HPP
+
+/**
+ * @file
+ * QAOA MaxCut benchmark [9]: p rounds of cost (RZZ per graph edge)
+ * and mixer (RX per qubit) layers over an Erdos-Renyi instance.
+ * The paper's Table II uses p = 1 with edge probabilities 0.1 and
+ * 0.33.
+ */
+
+#include "apps/graphs.hpp"
+#include "circuit/circuit.hpp"
+
+namespace qbasis {
+
+/** Parameters of a QAOA instance. */
+struct QaoaParams
+{
+    int rounds = 1;      ///< p, the number of cost/mixer repetitions.
+    double gamma = 0.7;  ///< Cost angle (arbitrary fixed value).
+    double beta = 0.3;   ///< Mixer angle.
+};
+
+/** QAOA circuit over an explicit edge list. */
+Circuit qaoaCircuit(int n,
+                    const std::vector<std::pair<int, int>> &edges,
+                    const QaoaParams &params = {});
+
+/**
+ * QAOA over G(n, edge_probability) with a deterministic seed derived
+ * from (n, probability) so every run of the benchmark sees the same
+ * instance.
+ */
+Circuit qaoaErdosRenyiCircuit(int n, double edge_probability,
+                              const QaoaParams &params = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_APPS_QAOA_HPP

@@ -1,0 +1,79 @@
+#include "apps/qft.hpp"
+
+#include <cmath>
+
+#include "linalg/types.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Circuit
+qftCircuit(int n, bool with_swaps)
+{
+    if (n < 1)
+        fatal("qftCircuit needs n >= 1");
+    Circuit c(n);
+    // Convention: qubit n-1 is the most significant.
+    for (int i = n - 1; i >= 0; --i) {
+        c.h(i);
+        for (int j = i - 1; j >= 0; --j) {
+            const double angle = kPi / std::pow(2.0, i - j);
+            c.cphase(j, i, angle);
+        }
+    }
+    if (with_swaps) {
+        for (int i = 0; i < n / 2; ++i)
+            c.swap(i, n - 1 - i);
+    }
+    return c;
+}
+
+Circuit
+inverseQftCircuit(int n, bool with_swaps)
+{
+    const Circuit fwd = qftCircuit(n, with_swaps);
+    Circuit inv(n);
+    for (auto it = fwd.gates().rbegin(); it != fwd.gates().rend();
+         ++it) {
+        Gate g = *it;
+        // Invert angles; H and SWAP are self-inverse.
+        for (double &p : g.params)
+            p = -p;
+        inv.append(std::move(g));
+    }
+    return inv;
+}
+
+Circuit
+qftAdderCircuit(int n_bits)
+{
+    if (n_bits < 1)
+        fatal("qftAdderCircuit needs n >= 1");
+    const int n = n_bits;
+    Circuit c(2 * n);
+    // phi(b): QFT on the b register (no swaps needed; the phase
+    // additions below account for the bit order directly).
+    auto b_qubit = [n](int i) { return n + i; };
+
+    for (int i = n - 1; i >= 0; --i) {
+        c.h(b_qubit(i));
+        for (int j = i - 1; j >= 0; --j)
+            c.cphase(b_qubit(j), b_qubit(i),
+                     kPi / std::pow(2.0, i - j));
+    }
+    // Controlled phase additions from the a register.
+    for (int i = n - 1; i >= 0; --i) {
+        for (int j = i; j >= 0; --j)
+            c.cphase(j, b_qubit(i), kPi / std::pow(2.0, i - j));
+    }
+    // Inverse QFT on b.
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < i; ++j)
+            c.cphase(b_qubit(j), b_qubit(i),
+                     -kPi / std::pow(2.0, i - j));
+        c.h(b_qubit(i));
+    }
+    return c;
+}
+
+} // namespace qbasis

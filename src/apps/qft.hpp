@@ -1,0 +1,34 @@
+#ifndef QBASIS_APPS_QFT_HPP
+#define QBASIS_APPS_QFT_HPP
+
+/**
+ * @file
+ * Quantum Fourier transform benchmarks: the plain QFT circuit and
+ * the QFT-based adder of Ruiz-Perez and Garcia-Escartin [10] used in
+ * the paper's evaluation ("qft n" rows of Table II).
+ */
+
+#include "circuit/circuit.hpp"
+
+namespace qbasis {
+
+/**
+ * Plain n-qubit QFT: H + controlled-phase ladder, with the final
+ * qubit-reversal SWAPs (`with_swaps`). The controlled phases are
+ * CP(pi/2^k), the "CRZ gates in the QFT benchmarks" of Section VII.
+ */
+Circuit qftCircuit(int n, bool with_swaps = true);
+
+/** Inverse QFT. */
+Circuit inverseQftCircuit(int n, bool with_swaps = true);
+
+/**
+ * QFT adder on 2n qubits: computes (a + b) mod 2^n into the b
+ * register. Register layout: qubits [0, n) hold a (a0 = LSB),
+ * qubits [n, 2n) hold b.
+ */
+Circuit qftAdderCircuit(int n_bits);
+
+} // namespace qbasis
+
+#endif // QBASIS_APPS_QFT_HPP

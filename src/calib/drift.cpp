@@ -1,0 +1,18 @@
+#include "calib/drift.hpp"
+
+namespace qbasis {
+
+PairDeviceParams
+driftParams(const PairDeviceParams &params, const DriftModel &model,
+            Rng &rng)
+{
+    PairDeviceParams d = params;
+    d.qubit_a.omega *= 1.0 + rng.normal(0.0, model.freq_rel);
+    d.qubit_b.omega *= 1.0 + rng.normal(0.0, model.freq_rel);
+    d.g_ac *= 1.0 + rng.normal(0.0, model.coupling_rel);
+    d.g_bc *= 1.0 + rng.normal(0.0, model.coupling_rel);
+    d.g_ab *= 1.0 + rng.normal(0.0, model.coupling_rel);
+    return d;
+}
+
+} // namespace qbasis

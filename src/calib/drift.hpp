@@ -1,0 +1,29 @@
+#ifndef QBASIS_CALIB_DRIFT_HPP
+#define QBASIS_CALIB_DRIFT_HPP
+
+/**
+ * @file
+ * Slow device-parameter drift between calibration cycles: qubit
+ * frequencies and couplings wander by a small relative amount,
+ * motivating the daily "retuning" stage of the paper's protocol.
+ */
+
+#include "sim/hamiltonian.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+/** Drift magnitudes (relative standard deviations). */
+struct DriftModel
+{
+    double freq_rel = 2e-5;     ///< Qubit frequency drift.
+    double coupling_rel = 1e-3; ///< Coupling strength drift.
+};
+
+/** Sample a drifted copy of the unit-cell parameters. */
+PairDeviceParams driftParams(const PairDeviceParams &params,
+                             const DriftModel &model, Rng &rng);
+
+} // namespace qbasis
+
+#endif // QBASIS_CALIB_DRIFT_HPP

@@ -1,0 +1,19 @@
+#include "calib/gst.hpp"
+
+#include "linalg/polar.hpp"
+
+namespace qbasis {
+
+Mat4
+simulateGst(const Mat4 &true_gate, const GstOptions &opts, Rng &rng)
+{
+    Mat4 noisy = true_gate;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            noisy(i, j) += Complex(rng.normal(0.0, opts.error_floor),
+                                   rng.normal(0.0, opts.error_floor));
+        }
+    return nearestUnitary4(noisy);
+}
+
+} // namespace qbasis

@@ -1,0 +1,91 @@
+#include "calib/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+TuneupResult
+initialTuneup(const PairSimulator &sim, const CoordsPredicate &criterion,
+              const TuneupOptions &opts, Rng &rng)
+{
+    TuneupResult result;
+    result.xi = opts.xi;
+
+    // Step 1: coarse amplitude/frequency calibration.
+    result.omega_d = sim.calibrateDriveFrequency(opts.xi);
+
+    // Step 2: QPT along the trajectory at controller resolution.
+    const Trajectory true_traj =
+        sim.simulateTrajectory(opts.xi, result.omega_d, opts.max_ns);
+    for (const TrajectoryPoint &pt : true_traj.points()) {
+        TrajectoryPoint measured = pt;
+        const QptResult qpt = simulateQpt(pt.unitary, opts.qpt, rng);
+        measured.unitary = qpt.estimate;
+        measured.coords = cartanCoords(qpt.estimate);
+        result.measured.append(std::move(measured));
+    }
+
+    // Step 3: candidate filtering on the (imprecise) QPT coordinates.
+    const auto first = result.measured.firstIndexWhere(
+        [&](const TrajectoryPoint &pt) {
+            return pt.duration > 0.0 && criterion(pt.coords);
+        });
+    if (!first) {
+        warn("initial tuneup: no trajectory point satisfied the "
+             "criterion within %.1f ns", opts.max_ns);
+        return result;
+    }
+    const size_t lo =
+        *first >= static_cast<size_t>(opts.candidate_halo)
+            ? *first - opts.candidate_halo
+            : 1;
+    const size_t hi = std::min(result.measured.size() - 1,
+                               *first + opts.candidate_halo);
+    for (size_t i = lo; i <= hi; ++i)
+        result.candidates.push_back(i);
+
+    // Step 4: GST on each candidate; pick the fastest one whose
+    // precise coordinates satisfy the criterion.
+    for (size_t idx : result.candidates) {
+        const Mat4 precise =
+            simulateGst(true_traj.at(idx).unitary, opts.gst, rng);
+        if (criterion(cartanCoords(precise))) {
+            result.chosen = idx;
+            result.gate = precise;
+            result.duration_ns = true_traj.at(idx).duration;
+            result.success = true;
+            return result;
+        }
+    }
+    warn("initial tuneup: no GST candidate satisfied the criterion");
+    return result;
+}
+
+RetuneResult
+retune(const PairSimulator &drifted_sim, const TuneupResult &previous,
+       const GstOptions &gst, Rng &rng)
+{
+    if (!previous.success)
+        fatal("retune requires a successful initial tuneup");
+
+    RetuneResult result;
+    result.duration_ns = previous.duration_ns;
+
+    // Quick frequency recalibration at the tuneup's amplitude; the
+    // initial tuneup's duration is reused.
+    result.omega_d =
+        drifted_sim.calibrateDriveFrequency(previous.xi);
+
+    const Trajectory short_traj = drifted_sim.simulateTrajectory(
+        previous.xi, result.omega_d, previous.duration_ns + 1.0);
+    const size_t idx = short_traj.size() - 1;
+    result.gate =
+        simulateGst(short_traj.at(idx).unitary, gst, rng);
+    result.gate_shift = traceInfidelity(result.gate, previous.gate);
+    return result;
+}
+
+} // namespace qbasis

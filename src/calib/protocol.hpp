@@ -1,0 +1,89 @@
+#ifndef QBASIS_CALIB_PROTOCOL_HPP
+#define QBASIS_CALIB_PROTOCOL_HPP
+
+/**
+ * @file
+ * The paper's two-stage calibration protocol (Section VI):
+ *
+ * Initial tuneup:
+ *  1. coarse amplitude/frequency calibration of the entangling pulse
+ *     (population-swap maximization),
+ *  2. QPT of each trajectory point at controller resolution,
+ *  3. candidate filtering with the Section V criteria on the noisy
+ *     QPT coordinates (QPT imprecision keeps a small halo of
+ *     candidates),
+ *  4. GST on each candidate for the precise unitary; the final basis
+ *     gate is the fastest candidate that (precisely) satisfies the
+ *     criterion.
+ *
+ * Retuning: re-run the coarse frequency calibration and refresh the
+ * gate unitary with GST at the previously chosen duration.
+ */
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "calib/gst.hpp"
+#include "calib/qpt.hpp"
+#include "sim/propagator.hpp"
+#include "weyl/trajectory.hpp"
+
+namespace qbasis {
+
+/** Predicate on canonical Cartan coordinates (selection criterion). */
+using CoordsPredicate = std::function<bool(const CartanCoords &)>;
+
+/** Options of the initial tuneup. */
+struct TuneupOptions
+{
+    double xi = 0.04;        ///< Entangling pulse amplitude.
+    double max_ns = 30.0;    ///< Trajectory window to characterize.
+    QptOptions qpt;          ///< Tomography settings.
+    GstOptions gst;          ///< Refinement settings.
+    int candidate_halo = 2;  ///< Extra candidates around the first
+                             ///< (QPT imprecision margin).
+};
+
+/** Result of the initial tuneup. */
+struct TuneupResult
+{
+    double xi = 0.0;         ///< Amplitude the tuneup ran at.
+    double omega_d = 0.0;    ///< Calibrated drive frequency.
+    Trajectory measured;     ///< QPT-estimated trajectory.
+    std::vector<size_t> candidates; ///< Indices passed to GST.
+    size_t chosen = 0;       ///< Final selected index.
+    double duration_ns = 0.0; ///< Basis gate duration.
+    Mat4 gate;               ///< GST-refined basis gate unitary.
+    bool success = false;    ///< Whether a gate satisfied the
+                             ///< criterion.
+};
+
+/** Run the initial tuneup on a simulated pair. */
+TuneupResult initialTuneup(const PairSimulator &sim,
+                           const CoordsPredicate &criterion,
+                           const TuneupOptions &opts, Rng &rng);
+
+/** Result of the quick retuning stage. */
+struct RetuneResult
+{
+    double omega_d = 0.0;   ///< Refreshed drive frequency.
+    Mat4 gate;              ///< Refreshed gate unitary.
+    double duration_ns = 0.0; ///< Unchanged from the tuneup.
+    double gate_shift = 0.0; ///< Trace infidelity between old and
+                            ///< new gate (how much drift moved it).
+};
+
+/**
+ * Retune on a (possibly drifted) simulator using the previous
+ * tuneup's duration; only the coarse frequency calibration and a
+ * GST refresh are repeated (1-5 minutes on hardware vs. the hour-
+ * scale initial tuneup).
+ */
+RetuneResult retune(const PairSimulator &drifted_sim,
+                    const TuneupResult &previous,
+                    const GstOptions &gst, Rng &rng);
+
+} // namespace qbasis
+
+#endif // QBASIS_CALIB_PROTOCOL_HPP

@@ -1,0 +1,159 @@
+#include "calib/qpt.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "linalg/eig_herm.hpp"
+#include "linalg/polar.hpp"
+#include "linalg/solve.hpp"
+#include "linalg/su2.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/** The 16 two-qubit Paulis, index = 4*first + second (I,X,Y,Z). */
+const std::array<Mat4, 16> &
+pauli16()
+{
+    static const std::array<Mat4, 16> paulis = [] {
+        const Mat2 p1[4] = {Mat2::identity(), pauliX(), pauliY(),
+                            pauliZ()};
+        std::array<Mat4, 16> out;
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                out[4 * i + j] = Mat4::kron(p1[i], p1[j]);
+        return out;
+    }();
+    return paulis;
+}
+
+/** Single-qubit IC preparation states |0>, |1>, |+>, |+i>. */
+std::array<std::array<Complex, 2>, 4>
+prepStates()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    return {{{Complex(1), Complex(0)},
+             {Complex(0), Complex(1)},
+             {Complex(s), Complex(s)},
+             {Complex(s), Complex(0, s)}}};
+}
+
+} // namespace
+
+QptResult
+simulateQpt(const Mat4 &true_gate, const QptOptions &opts, Rng &rng)
+{
+    const auto &paulis = pauli16();
+    const auto preps = prepStates();
+
+    // Input coefficient matrix C[k][n] = tr(P_n rho_k); product
+    // structure: c = kron of single-qubit coefficient rows.
+    auto pauli1Coeffs = [](const std::array<Complex, 2> &psi) {
+        std::array<double, 4> c{};
+        const Mat2 p1[4] = {Mat2::identity(), pauliX(), pauliY(),
+                            pauliZ()};
+        for (int n = 0; n < 4; ++n) {
+            Complex e{};
+            for (int r = 0; r < 2; ++r)
+                for (int col = 0; col < 2; ++col)
+                    e += std::conj(psi[r]) * p1[n](r, col) * psi[col];
+            c[n] = e.real();
+        }
+        return c;
+    };
+
+    RMat coeff(16, 16);
+    RMat measured(16, 16); // measured[m][k] = est tr(P_m E(rho_k))
+    for (int ka = 0; ka < 4; ++ka) {
+        const auto ca = pauli1Coeffs(preps[ka]);
+        for (int kb = 0; kb < 4; ++kb) {
+            const auto cb = pauli1Coeffs(preps[kb]);
+            const int k = 4 * ka + kb;
+            for (int na = 0; na < 4; ++na)
+                for (int nb = 0; nb < 4; ++nb)
+                    coeff(k, 4 * na + nb) = ca[na] * cb[nb];
+
+            // Output state psi = U (prep_a (x) prep_b).
+            std::array<Complex, 4> psi_in{};
+            for (int r = 0; r < 2; ++r)
+                for (int c = 0; c < 2; ++c)
+                    psi_in[2 * r + c] = preps[ka][r] * preps[kb][c];
+            std::array<Complex, 4> psi{};
+            for (int r = 0; r < 4; ++r)
+                for (int c = 0; c < 4; ++c)
+                    psi[r] += true_gate(r, c) * psi_in[c];
+
+            for (int m = 0; m < 16; ++m) {
+                if (m == 0) {
+                    measured(0, k) = 1.0;
+                    continue;
+                }
+                // True expectation of P_m.
+                Complex e{};
+                for (int r = 0; r < 4; ++r)
+                    for (int c = 0; c < 4; ++c)
+                        e += std::conj(psi[r]) * paulis[m](r, c)
+                             * psi[c];
+                double expect = e.real();
+                // Depolarizing SPAM shrinks the visibility.
+                expect *= (1.0 - opts.spam_error);
+                if (opts.shots > 0) {
+                    // Binomial sampling of the +1 outcome counts.
+                    const double p_up = 0.5 * (1.0 + expect);
+                    int up = 0;
+                    for (int s = 0; s < opts.shots; ++s)
+                        up += (rng.uniform() < p_up);
+                    expect =
+                        2.0 * up / static_cast<double>(opts.shots)
+                        - 1.0;
+                }
+                measured(m, k) = expect;
+            }
+        }
+    }
+
+    // PTM: measured = R * coeff^T  ->  R^T = solve(coeff, measured^T).
+    const RMat rt =
+        solveLinearSystem(coeff, measured.transpose());
+    const RMat r = rt.transpose();
+
+    // Choi matrix J = (1/d^2) sum_{mn} R_mn P_m (x) P_n^T.
+    CMat choi(16, 16);
+    for (int m = 0; m < 16; ++m) {
+        for (int n = 0; n < 16; ++n) {
+            const double w = r(m, n) / 16.0;
+            if (w == 0.0)
+                continue;
+            const Mat4 &pm = paulis[m];
+            const Mat4 pnt = paulis[n].transpose();
+            for (int i = 0; i < 4; ++i)
+                for (int j = 0; j < 4; ++j) {
+                    const Complex a = pm(i, j);
+                    if (a == Complex{})
+                        continue;
+                    for (int k2 = 0; k2 < 4; ++k2)
+                        for (int l = 0; l < 4; ++l) {
+                            choi(4 * i + k2, 4 * j + l) +=
+                                w * a * pnt(k2, l);
+                        }
+                }
+        }
+    }
+
+    // Dominant eigenvector ~ vec(U)/2.
+    const HermEig eig = jacobiEigHerm(choi);
+    const size_t top = 15;
+    Mat4 u_raw;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            u_raw(i, j) = 2.0 * eig.vectors(4 * i + j, top);
+
+    QptResult out;
+    out.estimate = nearestUnitary4(u_raw);
+    out.choi_purity = eig.values[top];
+    return out;
+}
+
+} // namespace qbasis

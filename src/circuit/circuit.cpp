@@ -1,0 +1,93 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits)
+{
+    if (num_qubits <= 0)
+        fatal("Circuit requires a positive qubit count (got %d)",
+              num_qubits);
+}
+
+void
+Circuit::append(Gate g)
+{
+    for (int q : g.qubits) {
+        if (q < 0 || q >= num_qubits_)
+            fatal("gate '%s' addresses qubit %d outside register of "
+                  "size %d", g.name().c_str(), q, num_qubits_);
+    }
+    gates_.push_back(std::move(g));
+}
+
+void
+Circuit::extend(const Circuit &other)
+{
+    if (other.num_qubits_ != num_qubits_)
+        fatal("extend: register size mismatch (%d vs %d)",
+              other.num_qubits_, num_qubits_);
+    gates_.insert(gates_.end(), other.gates_.begin(),
+                  other.gates_.end());
+}
+
+size_t
+Circuit::countTwoQubit() const
+{
+    size_t n = 0;
+    for (const auto &g : gates_)
+        n += g.isTwoQubit();
+    return n;
+}
+
+size_t
+Circuit::count(GateKind kind) const
+{
+    size_t n = 0;
+    for (const auto &g : gates_)
+        n += (g.kind == kind);
+    return n;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(num_qubits_, 0);
+    int depth = 0;
+    for (const auto &g : gates_) {
+        int start = 0;
+        for (int q : g.qubits)
+            start = std::max(start, level[q]);
+        for (int q : g.qubits)
+            level[q] = start + 1;
+        depth = std::max(depth, start + 1);
+    }
+    return depth;
+}
+
+std::string
+Circuit::str() const
+{
+    std::ostringstream out;
+    out << "circuit(" << num_qubits_ << " qubits, " << gates_.size()
+        << " gates)\n";
+    for (const auto &g : gates_) {
+        out << "  " << g.name();
+        if (!g.params.empty()) {
+            out << "(";
+            for (size_t i = 0; i < g.params.size(); ++i)
+                out << (i ? ", " : "") << g.params[i];
+            out << ")";
+        }
+        for (int q : g.qubits)
+            out << " q" << q;
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace qbasis

@@ -1,0 +1,81 @@
+#ifndef QBASIS_CIRCUIT_GATE_HPP
+#define QBASIS_CIRCUIT_GATE_HPP
+
+/**
+ * @file
+ * Gate representation for the circuit IR.
+ *
+ * Conventions: for two-qubit gates, qubits[0] is the first/most
+ * significant qubit of the 4x4 matrix and the control of controlled
+ * gates. Matrices follow the same |q0 q1| ordering as the weyl
+ * library.
+ */
+
+#include <string>
+#include <vector>
+
+#include "linalg/mat2.hpp"
+#include "linalg/mat4.hpp"
+
+namespace qbasis {
+
+/** Supported gate kinds. */
+enum class GateKind {
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    RX,
+    RY,
+    RZ,
+    Phase,     ///< diag(1, e^{i theta})
+    U3,        ///< generic 1Q gate by Euler angles
+    Unitary1Q, ///< raw 2x2 matrix
+    CX,
+    CZ,
+    Swap,
+    ISwap,
+    SqrtISwap,
+    CPhase,    ///< diag(1,1,1,e^{i theta})
+    CRZ,
+    RZZ,       ///< exp(-i theta/2 ZZ)
+    Unitary2Q, ///< raw 4x4 matrix (basis gates, synthesized gates)
+};
+
+/** One gate application in a circuit. */
+struct Gate
+{
+    GateKind kind = GateKind::H;
+    std::vector<int> qubits;     ///< 1 or 2 targets.
+    std::vector<double> params;  ///< Rotation angles, if any.
+    Mat4 custom4;                ///< For Unitary2Q.
+    Mat2 custom2;                ///< For Unitary1Q.
+    std::string label;           ///< Optional display label.
+
+    /** True for two-qubit gates. */
+    bool isTwoQubit() const { return qubits.size() == 2; }
+
+    /** Human-readable mnemonic. */
+    std::string name() const;
+
+    /** 2x2 matrix of a 1Q gate. */
+    Mat2 matrix2() const;
+
+    /** 4x4 matrix of a 2Q gate (qubits[0] = most significant). */
+    Mat4 matrix4() const;
+};
+
+/** Construct helpers (free functions keep Gate an aggregate). */
+Gate makeGate1(GateKind kind, int q, std::vector<double> params = {});
+Gate makeGate2(GateKind kind, int a, int b,
+               std::vector<double> params = {});
+Gate makeUnitary2(int a, int b, const Mat4 &u, std::string label = {});
+Gate makeUnitary1(int q, const Mat2 &u, std::string label = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_CIRCUIT_GATE_HPP

@@ -1,0 +1,44 @@
+#include "circuit/schedule.hpp"
+
+#include <algorithm>
+
+namespace qbasis {
+
+DurationModel
+uniformDurations(double t_1q_ns, double t_2q_ns)
+{
+    return [t_1q_ns, t_2q_ns](const Gate &g) {
+        return g.isTwoQubit() ? t_2q_ns : t_1q_ns;
+    };
+}
+
+Schedule
+scheduleAsap(const Circuit &circuit, const DurationModel &durations)
+{
+    const int n = circuit.numQubits();
+    Schedule sched;
+    sched.first_busy.assign(n, -1.0);
+    sched.last_busy.assign(n, -1.0);
+    std::vector<double> ready(n, 0.0);
+
+    sched.ops.reserve(circuit.size());
+    for (size_t i = 0; i < circuit.gates().size(); ++i) {
+        const Gate &g = circuit.gates()[i];
+        double start = 0.0;
+        for (int q : g.qubits)
+            start = std::max(start, ready[q]);
+        const double dur = durations(g);
+        const double end = start + dur;
+        for (int q : g.qubits) {
+            ready[q] = end;
+            if (sched.first_busy[q] < 0.0)
+                sched.first_busy[q] = start;
+            sched.last_busy[q] = end;
+        }
+        sched.ops.push_back({i, start, end});
+        sched.makespan = std::max(sched.makespan, end);
+    }
+    return sched;
+}
+
+} // namespace qbasis

@@ -1,0 +1,49 @@
+#ifndef QBASIS_CIRCUIT_SCHEDULE_HPP
+#define QBASIS_CIRCUIT_SCHEDULE_HPP
+
+/**
+ * @file
+ * ASAP (as-soon-as-possible) scheduling of circuits with per-gate
+ * durations; provides the per-qubit activity windows that the
+ * paper's decoherence model (Section VIII-C) integrates over.
+ */
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qbasis {
+
+/** One scheduled gate instance. */
+struct ScheduledGate
+{
+    size_t gate_index = 0; ///< Index into Circuit::gates().
+    double start = 0.0;    ///< Start time (ns).
+    double end = 0.0;      ///< End time (ns).
+};
+
+/** Result of scheduling a circuit. */
+struct Schedule
+{
+    std::vector<ScheduledGate> ops; ///< In program order.
+    double makespan = 0.0;          ///< Total circuit duration.
+    /** First gate start per qubit (-1 when the qubit is untouched). */
+    std::vector<double> first_busy;
+    /** Last gate end per qubit (-1 when the qubit is untouched). */
+    std::vector<double> last_busy;
+};
+
+/** Maps a gate to its duration in ns. */
+using DurationModel = std::function<double(const Gate &)>;
+
+/** Uniform duration model: fixed 1Q and 2Q gate lengths. */
+DurationModel uniformDurations(double t_1q_ns, double t_2q_ns);
+
+/** Greedy ASAP schedule honoring qubit exclusivity. */
+Schedule scheduleAsap(const Circuit &circuit,
+                      const DurationModel &durations);
+
+} // namespace qbasis
+
+#endif // QBASIS_CIRCUIT_SCHEDULE_HPP

@@ -1,0 +1,128 @@
+#include "circuit/statevector.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits)
+{
+    if (num_qubits <= 0 || num_qubits > 26)
+        fatal("Statevector supports 1..26 qubits (got %d)", num_qubits);
+    amps_.assign(size_t{1} << num_qubits, Complex{});
+    amps_[0] = 1.0;
+}
+
+void
+Statevector::setBasisState(size_t basis_state)
+{
+    if (basis_state >= amps_.size())
+        fatal("basis state %zu out of range", basis_state);
+    std::fill(amps_.begin(), amps_.end(), Complex{});
+    amps_[basis_state] = 1.0;
+}
+
+void
+Statevector::apply1Q(const Mat2 &u, int qubit)
+{
+    const size_t stride = size_t{1} << qubit;
+    const size_t n = amps_.size();
+    for (size_t base = 0; base < n; base += 2 * stride) {
+        for (size_t off = 0; off < stride; ++off) {
+            const size_t i0 = base + off;
+            const size_t i1 = i0 + stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = u(0, 0) * a0 + u(0, 1) * a1;
+            amps_[i1] = u(1, 0) * a0 + u(1, 1) * a1;
+        }
+    }
+}
+
+void
+Statevector::apply2Q(const Mat4 &u, int high, int low)
+{
+    const size_t hbit = size_t{1} << high;
+    const size_t lbit = size_t{1} << low;
+    const size_t n = amps_.size();
+    for (size_t i = 0; i < n; ++i) {
+        if ((i & hbit) || (i & lbit))
+            continue; // Visit each group once via its 00 member.
+        const size_t i00 = i;
+        const size_t i01 = i | lbit;
+        const size_t i10 = i | hbit;
+        const size_t i11 = i | hbit | lbit;
+        const Complex a00 = amps_[i00];
+        const Complex a01 = amps_[i01];
+        const Complex a10 = amps_[i10];
+        const Complex a11 = amps_[i11];
+        amps_[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10
+                     + u(0, 3) * a11;
+        amps_[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10
+                     + u(1, 3) * a11;
+        amps_[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10
+                     + u(2, 3) * a11;
+        amps_[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10
+                     + u(3, 3) * a11;
+    }
+}
+
+void
+Statevector::applyGate(const Gate &g)
+{
+    if (g.isTwoQubit())
+        apply2Q(g.matrix4(), g.qubits[0], g.qubits[1]);
+    else
+        apply1Q(g.matrix2(), g.qubits[0]);
+}
+
+void
+Statevector::applyCircuit(const Circuit &c)
+{
+    if (c.numQubits() != num_qubits_)
+        fatal("applyCircuit: register size mismatch");
+    for (const auto &g : c.gates())
+        applyGate(g);
+}
+
+double
+Statevector::probability(size_t basis_state) const
+{
+    return std::norm(amps_.at(basis_state));
+}
+
+size_t
+Statevector::mostLikely() const
+{
+    size_t best = 0;
+    double best_p = -1.0;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        const double p = std::norm(amps_[i]);
+        if (p > best_p) {
+            best_p = p;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+Statevector::overlap(const Statevector &other) const
+{
+    Complex s{};
+    for (size_t i = 0; i < amps_.size(); ++i)
+        s += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(s);
+}
+
+double
+Statevector::norm() const
+{
+    double s = 0.0;
+    for (const auto &a : amps_)
+        s += std::norm(a);
+    return std::sqrt(s);
+}
+
+} // namespace qbasis

@@ -1,0 +1,71 @@
+#ifndef QBASIS_CIRCUIT_STATEVECTOR_HPP
+#define QBASIS_CIRCUIT_STATEVECTOR_HPP
+
+/**
+ * @file
+ * Dense statevector simulator (up to ~20 qubits), used for circuit
+ * equivalence checks in tests and for verifying benchmark
+ * generators (e.g. the Cuccaro adder's arithmetic).
+ */
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "linalg/types.hpp"
+
+namespace qbasis {
+
+/** Dense quantum state on n qubits (qubit 0 = least significant bit). */
+class Statevector
+{
+  public:
+    /** |0...0> on n qubits. */
+    explicit Statevector(int num_qubits);
+
+    /** Number of qubits. */
+    int numQubits() const { return num_qubits_; }
+
+    /** Amplitude vector (size 2^n). */
+    const std::vector<Complex> &amplitudes() const { return amps_; }
+
+    /** Amplitude of one computational basis state. */
+    Complex amplitude(size_t basis_state) const
+    {
+        return amps_.at(basis_state);
+    }
+
+    /** Set to a computational basis state. */
+    void setBasisState(size_t basis_state);
+
+    /** Apply a 2x2 unitary to one qubit. */
+    void apply1Q(const Mat2 &u, int qubit);
+
+    /** Apply a 4x4 unitary; `high` is the most significant qubit. */
+    void apply2Q(const Mat4 &u, int high, int low);
+
+    /** Apply one IR gate. */
+    void applyGate(const Gate &g);
+
+    /** Apply a whole circuit. */
+    void applyCircuit(const Circuit &c);
+
+    /** Probability of one basis state. */
+    double probability(size_t basis_state) const;
+
+    /** Index of the most likely basis state. */
+    size_t mostLikely() const;
+
+    /** |<this|other>|^2. */
+    double overlap(const Statevector &other) const;
+
+    /** L2 norm (should stay 1 under unitaries). */
+    double norm() const;
+
+  private:
+    int num_qubits_;
+    std::vector<Complex> amps_;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_CIRCUIT_STATEVECTOR_HPP

@@ -1,0 +1,36 @@
+#ifndef QBASIS_CIRCUIT_UNITARY_HPP
+#define QBASIS_CIRCUIT_UNITARY_HPP
+
+/**
+ * @file
+ * Full-circuit unitary construction and equivalence checks for small
+ * registers (used heavily by transpiler correctness tests).
+ */
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qbasis {
+
+/** Dense 2^n x 2^n unitary of a circuit (n <= 10). */
+CMat circuitUnitary(const Circuit &c);
+
+/**
+ * True when the circuits implement the same unitary up to global
+ * phase.
+ */
+bool circuitsEquivalent(const Circuit &a, const Circuit &b,
+                        double tol = 1e-8);
+
+/**
+ * True when circuit `b` equals circuit `a` followed by a relabeling
+ * of qubits (out_perm[logical] = physical), as produced by routing
+ * passes that leave SWAP permutations in place.
+ */
+bool circuitsEquivalentUpToPermutation(
+    const Circuit &a, const Circuit &b,
+    const std::vector<int> &out_perm, double tol = 1e-8);
+
+} // namespace qbasis
+
+#endif // QBASIS_CIRCUIT_UNITARY_HPP

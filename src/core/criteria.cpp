@@ -1,0 +1,49 @@
+#include "core/criteria.hpp"
+
+#include "monodromy/regions.hpp"
+#include "util/logging.hpp"
+#include "weyl/invariants.hpp"
+
+namespace qbasis {
+
+std::string
+criterionName(SelectionCriterion c)
+{
+    switch (c) {
+      case SelectionCriterion::Criterion1: return "criterion1";
+      case SelectionCriterion::Criterion2: return "criterion2";
+      case SelectionCriterion::PerfectEntangler: return "pe";
+      case SelectionCriterion::PeAndSwap3: return "pe+swap3";
+    }
+    return "?";
+}
+
+bool
+criterionSatisfied(SelectionCriterion c, const CartanCoords &coords,
+                   double eps)
+{
+    const CartanCoords canon = canonicalize(coords);
+    switch (c) {
+      case SelectionCriterion::Criterion1:
+        return canSynthesizeSwapIn3Layers(canon, eps);
+      case SelectionCriterion::Criterion2:
+        return canSynthesizeSwapIn3Layers(canon, eps)
+               && canSynthesizeCnotIn2Layers(canon, eps);
+      case SelectionCriterion::PerfectEntangler:
+        return isPerfectEntangler(canon, eps);
+      case SelectionCriterion::PeAndSwap3:
+        return isPerfectEntangler(canon, eps)
+               && canSynthesizeSwapIn3Layers(canon, eps);
+    }
+    panic("unknown criterion");
+}
+
+std::function<bool(const CartanCoords &)>
+criterionPredicate(SelectionCriterion c)
+{
+    return [c](const CartanCoords &coords) {
+        return criterionSatisfied(c, coords);
+    };
+}
+
+} // namespace qbasis

@@ -1,0 +1,43 @@
+#ifndef QBASIS_CORE_CRITERIA_HPP
+#define QBASIS_CORE_CRITERIA_HPP
+
+/**
+ * @file
+ * Basis-gate selection criteria (paper Section V-E).
+ *
+ * Criterion 1: the fastest gate on the trajectory that synthesizes
+ * SWAP in 3 layers. Criterion 2 additionally requires CNOT in
+ * 2 layers. The extension criteria illustrate Section V-E's remark
+ * that the framework composes with other metrics (perfect
+ * entanglement, entangling power).
+ */
+
+#include <functional>
+#include <string>
+
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/** Selection criteria for per-edge basis gates. */
+enum class SelectionCriterion {
+    Criterion1,       ///< SWAP in <= 3 layers.
+    Criterion2,       ///< SWAP in <= 3 AND CNOT in <= 2 layers.
+    PerfectEntangler, ///< First perfect entangler on the trajectory.
+    PeAndSwap3,       ///< PE and SWAP in <= 3 layers (Section V-E).
+};
+
+/** Human-readable criterion name. */
+std::string criterionName(SelectionCriterion c);
+
+/** Whether canonical coordinates satisfy the criterion. */
+bool criterionSatisfied(SelectionCriterion c, const CartanCoords &coords,
+                        double eps = 1e-9);
+
+/** The criterion as a reusable predicate. */
+std::function<bool(const CartanCoords &)>
+criterionPredicate(SelectionCriterion c);
+
+} // namespace qbasis
+
+#endif // QBASIS_CORE_CRITERIA_HPP

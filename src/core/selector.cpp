@@ -1,0 +1,77 @@
+#include "core/selector.hpp"
+
+#include <algorithm>
+
+#include "monodromy/regions.hpp"
+#include "weyl/geometry.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/**
+ * Continuous crossing estimate: first intersection of the sampled
+ * coordinate polyline with the criterion's entry faces (Fig. 4 of
+ * the paper). Only the SWAP-3 and CNOT-2 faces have closed forms.
+ */
+double
+continuousCrossing(const Trajectory &traj, SelectionCriterion criterion)
+{
+    std::vector<Triangle> faces;
+    switch (criterion) {
+      case SelectionCriterion::Criterion1:
+        faces = swap3EntryFaces();
+        break;
+      case SelectionCriterion::Criterion2: {
+        faces = swap3EntryFaces();
+        const auto &cnot_faces = cnot2EntryFaces();
+        faces.insert(faces.end(), cnot_faces.begin(),
+                     cnot_faces.end());
+        break;
+      }
+      default:
+        return -1.0;
+    }
+    for (size_t i = 0; i + 1 < traj.size(); ++i) {
+        const CartanCoords &a = traj.at(i).coords;
+        const CartanCoords &b = traj.at(i + 1).coords;
+        for (const Triangle &f : faces) {
+            const auto s = segmentTriangleIntersection(a, b, f);
+            if (s) {
+                return traj.at(i).duration
+                       + *s
+                             * (traj.at(i + 1).duration
+                                - traj.at(i).duration);
+            }
+        }
+    }
+    return -1.0;
+}
+
+} // namespace
+
+std::optional<SelectedBasisGate>
+selectBasisGate(const Trajectory &traj, SelectionCriterion criterion,
+                const SelectorOptions &opts)
+{
+    const auto idx = traj.firstIndexWhere(
+        [&](const TrajectoryPoint &pt) {
+            return pt.duration >= opts.min_duration_ns
+                   && pt.leakage <= opts.max_leakage
+                   && criterionSatisfied(criterion, pt.coords);
+        });
+    if (!idx)
+        return std::nullopt;
+
+    const TrajectoryPoint &pt = traj.at(*idx);
+    SelectedBasisGate sel;
+    sel.index = *idx;
+    sel.duration_ns = pt.duration;
+    sel.gate = pt.unitary;
+    sel.coords = pt.coords;
+    sel.leakage = pt.leakage;
+    sel.continuous_crossing_ns = continuousCrossing(traj, criterion);
+    return sel;
+}
+
+} // namespace qbasis

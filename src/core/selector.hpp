@@ -1,0 +1,50 @@
+#ifndef QBASIS_CORE_SELECTOR_HPP
+#define QBASIS_CORE_SELECTOR_HPP
+
+/**
+ * @file
+ * First-intersection basis-gate selection on sampled Cartan
+ * trajectories (paper Section V-E): walk the trajectory at
+ * controller resolution and return the first sample whose canonical
+ * coordinates satisfy the criterion. The continuous crossing of the
+ * paper's entry faces is also reported for comparison.
+ */
+
+#include <optional>
+
+#include "core/criteria.hpp"
+#include "weyl/trajectory.hpp"
+
+namespace qbasis {
+
+/** A selected per-edge basis gate. */
+struct SelectedBasisGate
+{
+    size_t index = 0;         ///< Sample index in the trajectory.
+    double duration_ns = 0.0; ///< Pulse duration of the gate.
+    Mat4 gate;                ///< Unitary (unitarized propagator).
+    CartanCoords coords;      ///< Canonical coordinates.
+    double leakage = 0.0;     ///< Leakage at this sample.
+    /** Entry-face crossing time from segment intersection (-1 when
+     *  not applicable for the criterion). */
+    double continuous_crossing_ns = -1.0;
+};
+
+/** Options for selectBasisGate(). */
+struct SelectorOptions
+{
+    double min_duration_ns = 1.0; ///< Skip the trivial t ~ 0 samples.
+    double max_leakage = 1.0;     ///< Reject samples leaking more.
+};
+
+/**
+ * First trajectory sample satisfying the criterion, or nullopt when
+ * the trajectory never enters the target region.
+ */
+std::optional<SelectedBasisGate>
+selectBasisGate(const Trajectory &traj, SelectionCriterion criterion,
+                const SelectorOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_CORE_SELECTOR_HPP

@@ -1,0 +1,96 @@
+#include "linalg/eig_herm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+HermEig
+jacobiEigHerm(const CMat &h_in, double tol)
+{
+    const size_t n = h_in.rows();
+    if (h_in.cols() != n)
+        panic("jacobiEigHerm requires a square matrix");
+
+    CMat a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = 0.5 * (h_in(i, j) + std::conj(h_in(j, i)));
+
+    CMat v = CMat::identity(n);
+    const double scale = std::max(a.frobeniusNorm(), 1e-300);
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                off += std::norm(a(i, j));
+        if (std::sqrt(2.0 * off) <= tol * scale)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                const Complex apq = a(p, q);
+                const double mag = std::abs(apq);
+                if (mag <= 1e-300)
+                    continue;
+                const double app = a(p, p).real();
+                const double aqq = a(q, q).real();
+                // Phase that makes the pivot real, then a real
+                // Jacobi rotation on the phased pair.
+                const Complex phase = apq / mag;
+                const double theta = 0.5 * (aqq - app) / mag;
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0)
+                    / (std::abs(theta)
+                       + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+                const Complex sp = s * phase;
+
+                // Columns update: A <- A * R
+                for (size_t k = 0; k < n; ++k) {
+                    const Complex akp = a(k, p);
+                    const Complex akq = a(k, q);
+                    a(k, p) = c * akp - std::conj(sp) * akq;
+                    a(k, q) = sp * akp + c * akq;
+                }
+                // Rows update: A <- R^dag * A
+                for (size_t k = 0; k < n; ++k) {
+                    const Complex apk = a(p, k);
+                    const Complex aqk = a(q, k);
+                    a(p, k) = c * apk - sp * aqk;
+                    a(q, k) = std::conj(sp) * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const Complex vkp = v(k, p);
+                    const Complex vkq = v(k, q);
+                    v(k, p) = c * vkp - std::conj(sp) * vkq;
+                    v(k, q) = sp * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+        return a(i, i).real() < a(j, j).real();
+    });
+
+    HermEig out;
+    out.values.resize(n);
+    out.vectors = CMat(n, n);
+    for (size_t c = 0; c < n; ++c) {
+        out.values[c] = a(order[c], order[c]).real();
+        for (size_t r = 0; r < n; ++r)
+            out.vectors(r, c) = v(r, order[c]);
+    }
+    return out;
+}
+
+} // namespace qbasis

@@ -1,0 +1,38 @@
+#ifndef QBASIS_LINALG_EIG_HERM_HPP
+#define QBASIS_LINALG_EIG_HERM_HPP
+
+/**
+ * @file
+ * Cyclic Jacobi eigensolver for complex Hermitian matrices.
+ *
+ * Used for static Hamiltonian spectra (dressed states, ZZ-null bias
+ * search) and Hermitian matrix functions.
+ */
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qbasis {
+
+/** Eigendecomposition result: H = V diag(values) V^dag. */
+struct HermEig
+{
+    /** Real eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Unitary matrix whose columns are the eigenvectors. */
+    CMat vectors;
+};
+
+/**
+ * Diagonalize a complex Hermitian matrix with the cyclic Jacobi
+ * method using complex plane rotations.
+ *
+ * @param h    Hermitian input (Hermiticity enforced by averaging).
+ * @param tol  off-diagonal convergence threshold relative to the norm.
+ */
+HermEig jacobiEigHerm(const CMat &h, double tol = 1e-13);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_EIG_HERM_HPP

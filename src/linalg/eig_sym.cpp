@@ -1,0 +1,92 @@
+#include "linalg/eig_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+SymEig
+jacobiEigSym(const RMat &a_in, double tol)
+{
+    const size_t n = a_in.rows();
+    if (a_in.cols() != n)
+        panic("jacobiEigSym requires a square matrix");
+
+    // Symmetrize defensively; callers may pass data with rounding skew.
+    RMat a(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            a(i, j) = 0.5 * (a_in(i, j) + a_in(j, i));
+
+    RMat v = RMat::identity(n);
+    const double scale = std::max(a.frobeniusNorm(), 1e-300);
+
+    const int max_sweeps = 100;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            for (size_t j = i + 1; j < n; ++j)
+                off += a(i, j) * a(i, j);
+        if (std::sqrt(2.0 * off) <= tol * scale)
+            break;
+
+        for (size_t p = 0; p < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::abs(apq) <= 1e-300)
+                    continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                const double theta = 0.5 * (aqq - app) / apq;
+                // Stable tangent of the rotation angle.
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0)
+                    / (std::abs(theta)
+                       + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs ascending.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t i, size_t j) {
+        return a(i, i) < a(j, j);
+    });
+
+    SymEig out;
+    out.values.resize(n);
+    out.vectors = RMat(n, n);
+    for (size_t c = 0; c < n; ++c) {
+        out.values[c] = a(order[c], order[c]);
+        for (size_t r = 0; r < n; ++r)
+            out.vectors(r, c) = v(r, order[c]);
+    }
+    return out;
+}
+
+} // namespace qbasis

@@ -1,0 +1,35 @@
+#ifndef QBASIS_LINALG_EIG_SYM_HPP
+#define QBASIS_LINALG_EIG_SYM_HPP
+
+/**
+ * @file
+ * Cyclic Jacobi eigensolver for real symmetric matrices.
+ */
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qbasis {
+
+/** Eigendecomposition result: A = V diag(values) V^T. */
+struct SymEig
+{
+    /** Eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Orthogonal matrix whose columns are the eigenvectors. */
+    RMat vectors;
+};
+
+/**
+ * Diagonalize a real symmetric matrix with the cyclic Jacobi method.
+ *
+ * @param a    symmetric input (symmetry is enforced by averaging).
+ * @param tol  off-diagonal convergence threshold relative to the norm.
+ * @return eigenvalues ascending + orthogonal eigenvector matrix.
+ */
+SymEig jacobiEigSym(const RMat &a, double tol = 1e-13);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_EIG_SYM_HPP

@@ -1,0 +1,45 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "linalg/eig_herm.hpp"
+
+namespace qbasis {
+
+CMat
+expiHermitian(const CMat &h, double factor)
+{
+    const HermEig eig = jacobiEigHerm(h);
+    const size_t n = h.rows();
+    CMat out(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            Complex s{};
+            for (size_t k = 0; k < n; ++k) {
+                const Complex phase =
+                    std::exp(Complex(0.0, factor * eig.values[k]));
+                s += eig.vectors(i, k) * phase
+                     * std::conj(eig.vectors(j, k));
+            }
+            out(i, j) = s;
+        }
+    }
+    return out;
+}
+
+Mat4
+expiHermitian4(const Mat4 &h, double factor)
+{
+    CMat hd(4, 4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            hd(i, j) = h(i, j);
+    const CMat ed = expiHermitian(hd, factor);
+    Mat4 out;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            out(i, j) = ed(i, j);
+    return out;
+}
+
+} // namespace qbasis

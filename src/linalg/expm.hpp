@@ -1,0 +1,26 @@
+#ifndef QBASIS_LINALG_EXPM_HPP
+#define QBASIS_LINALG_EXPM_HPP
+
+/**
+ * @file
+ * Matrix exponentials of Hermitian generators.
+ */
+
+#include "linalg/mat4.hpp"
+#include "linalg/matrix.hpp"
+
+namespace qbasis {
+
+/**
+ * exp(i * factor * H) for Hermitian H via eigendecomposition.
+ */
+CMat expiHermitian(const CMat &h, double factor);
+
+/**
+ * exp(i * factor * H) for a Hermitian 4x4 matrix.
+ */
+Mat4 expiHermitian4(const Mat4 &h, double factor);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_EXPM_HPP

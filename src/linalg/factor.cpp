@@ -1,0 +1,78 @@
+#include "linalg/factor.hpp"
+
+#include <cmath>
+
+namespace qbasis {
+
+TensorFactor
+factorTensorProduct(const Mat4 &m)
+{
+    // View m as 2x2 blocks: m[(2a+c),(2b+d)] = A(a,b) * B(c,d).
+    auto block = [&](int a, int b) {
+        Mat2 r;
+        for (int c = 0; c < 2; ++c)
+            for (int d = 0; d < 2; ++d)
+                r(c, d) = m(2 * a + c, 2 * b + d);
+        return r;
+    };
+
+    // Pick the block with the largest norm as the B reference.
+    int a0 = 0, b0 = 0;
+    double best = -1.0;
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b) {
+            const double n = block(a, b).frobeniusNorm();
+            if (n > best) {
+                best = n;
+                a0 = a;
+                b0 = b;
+            }
+        }
+
+    Mat2 b_unit = block(a0, b0);
+    const double bn = b_unit.frobeniusNorm();
+    if (bn > 1e-300)
+        b_unit *= Complex(1.0 / bn, 0.0);
+
+    // A(a,b) = <b_unit, block(a,b)>  (Hilbert-Schmidt inner product).
+    Mat2 a_mat;
+    for (int a = 0; a < 2; ++a)
+        for (int b = 0; b < 2; ++b) {
+            Complex s{};
+            const Mat2 blk = block(a, b);
+            const Mat2 bu_dag = b_unit.dagger();
+            const Mat2 prod = bu_dag * blk;
+            s = prod.trace();
+            a_mat(a, b) = s;
+        }
+
+    // Normalize both factors into SU(2).
+    TensorFactor out;
+    const Complex det_a = a_mat.det();
+    const Complex det_b = b_unit.det();
+    const Complex sqrt_da = std::sqrt(det_a);
+    const Complex sqrt_db = std::sqrt(det_b);
+    out.a = (std::abs(sqrt_da) > 1e-300)
+                ? a_mat * (Complex(1.0) / sqrt_da)
+                : a_mat;
+    out.b = (std::abs(sqrt_db) > 1e-300)
+                ? b_unit * (Complex(1.0) / sqrt_db)
+                : b_unit;
+
+    // Phase from the overlap with the reconstruction.
+    const Mat4 rec = Mat4::kron(out.a, out.b);
+    Complex overlap{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            overlap += std::conj(rec(i, j)) * m(i, j);
+    out.phase = overlap / 4.0;
+    // Snap near-unit phases onto the unit circle for exact inputs.
+    const double mag = std::abs(out.phase);
+    if (mag > 1e-300)
+        out.phase /= mag;
+
+    out.residual = (rec * out.phase).maxAbsDiff(m);
+    return out;
+}
+
+} // namespace qbasis

@@ -1,0 +1,34 @@
+#ifndef QBASIS_LINALG_FACTOR_HPP
+#define QBASIS_LINALG_FACTOR_HPP
+
+/**
+ * @file
+ * Tensor-product factorization of two-qubit local operations.
+ */
+
+#include "linalg/mat2.hpp"
+#include "linalg/mat4.hpp"
+
+namespace qbasis {
+
+/** Result of factoring M ~ phase * (a (x) b). */
+struct TensorFactor
+{
+    Mat2 a;           ///< First-qubit factor, det +1.
+    Mat2 b;           ///< Second-qubit factor, det +1.
+    Complex phase;    ///< Global phase.
+    double residual;  ///< Frobenius distance of the reconstruction.
+};
+
+/**
+ * Factor a (near) tensor-product 4x4 unitary into SU(2) (x) SU(2)
+ * times a global phase.
+ *
+ * The residual reports how far the input is from an exact product;
+ * callers verifying locality should check it against a tolerance.
+ */
+TensorFactor factorTensorProduct(const Mat4 &m);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_FACTOR_HPP

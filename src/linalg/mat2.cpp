@@ -1,0 +1,108 @@
+#include "linalg/mat2.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Mat2
+Mat2::operator+(const Mat2 &o) const
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.a_[i] = a_[i] + o.a_[i];
+    return r;
+}
+
+Mat2
+Mat2::operator-(const Mat2 &o) const
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.a_[i] = a_[i] - o.a_[i];
+    return r;
+}
+
+Mat2
+Mat2::operator*(const Mat2 &o) const
+{
+    return Mat2(a_[0] * o.a_[0] + a_[1] * o.a_[2],
+                a_[0] * o.a_[1] + a_[1] * o.a_[3],
+                a_[2] * o.a_[0] + a_[3] * o.a_[2],
+                a_[2] * o.a_[1] + a_[3] * o.a_[3]);
+}
+
+Mat2
+Mat2::operator*(Complex s) const
+{
+    Mat2 r;
+    for (int i = 0; i < 4; ++i)
+        r.a_[i] = a_[i] * s;
+    return r;
+}
+
+Mat2 &
+Mat2::operator+=(const Mat2 &o)
+{
+    for (int i = 0; i < 4; ++i)
+        a_[i] += o.a_[i];
+    return *this;
+}
+
+Mat2 &
+Mat2::operator*=(Complex s)
+{
+    for (auto &x : a_)
+        x *= s;
+    return *this;
+}
+
+Mat2
+Mat2::dagger() const
+{
+    return Mat2(std::conj(a_[0]), std::conj(a_[2]),
+                std::conj(a_[1]), std::conj(a_[3]));
+}
+
+double
+Mat2::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (const auto &x : a_)
+        s += std::norm(x);
+    return std::sqrt(s);
+}
+
+double
+Mat2::maxAbsDiff(const Mat2 &o) const
+{
+    double m = 0.0;
+    for (int i = 0; i < 4; ++i)
+        m = std::max(m, std::abs(a_[i] - o.a_[i]));
+    return m;
+}
+
+bool
+Mat2::isUnitary(double tol) const
+{
+    return (dagger() * (*this)).maxAbsDiff(identity()) <= tol;
+}
+
+std::string
+Mat2::str(int precision) const
+{
+    std::string s;
+    for (int r = 0; r < 2; ++r) {
+        s += "[ ";
+        for (int c = 0; c < 2; ++c) {
+            const Complex &z = (*this)(r, c);
+            s += strformat("%+.*f%+.*fi  ", precision, z.real(),
+                           precision, z.imag());
+        }
+        s += "]\n";
+    }
+    return s;
+}
+
+} // namespace qbasis

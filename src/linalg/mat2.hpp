@@ -1,0 +1,84 @@
+#ifndef QBASIS_LINALG_MAT2_HPP
+#define QBASIS_LINALG_MAT2_HPP
+
+/**
+ * @file
+ * Fixed-size 2x2 complex matrix for single-qubit operators.
+ *
+ * Mat2 is a value type stored on the stack; all arithmetic is inlined
+ * since 1Q gate algebra sits in the synthesis hot path.
+ */
+
+#include <array>
+#include <string>
+
+#include "linalg/types.hpp"
+
+namespace qbasis {
+
+/** Dense 2x2 complex matrix (row-major). */
+class Mat2
+{
+  public:
+    /** Zero matrix. */
+    Mat2() : a_{} {}
+
+    /** Construct from row-major entries. */
+    Mat2(Complex a00, Complex a01, Complex a10, Complex a11)
+        : a_{a00, a01, a10, a11}
+    {}
+
+    /** Element access (row, col). */
+    Complex &operator()(int r, int c) { return a_[2 * r + c]; }
+
+    /** Element access (row, col), const. */
+    const Complex &operator()(int r, int c) const { return a_[2 * r + c]; }
+
+    /** 2x2 identity. */
+    static Mat2 identity()
+    {
+        return Mat2(1.0, 0.0, 0.0, 1.0);
+    }
+
+    Mat2 operator+(const Mat2 &o) const;
+    Mat2 operator-(const Mat2 &o) const;
+    Mat2 operator*(const Mat2 &o) const;
+    Mat2 operator*(Complex s) const;
+    Mat2 &operator+=(const Mat2 &o);
+    Mat2 &operator*=(Complex s);
+
+    /** Conjugate transpose. */
+    Mat2 dagger() const;
+
+    /** Trace. */
+    Complex trace() const { return a_[0] + a_[3]; }
+
+    /** Determinant. */
+    Complex det() const { return a_[0] * a_[3] - a_[1] * a_[2]; }
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest absolute entry of (this - o). */
+    double maxAbsDiff(const Mat2 &o) const;
+
+    /** True iff this' * this == I within tol. */
+    bool isUnitary(double tol = kMatTol) const;
+
+    /** Render as a readable multi-line string. */
+    std::string str(int precision = 4) const;
+
+  private:
+    std::array<Complex, 4> a_;
+};
+
+/** Scalar-matrix product. */
+inline Mat2
+operator*(Complex s, const Mat2 &m)
+{
+    return m * s;
+}
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_MAT2_HPP

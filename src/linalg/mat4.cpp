@@ -1,0 +1,245 @@
+#include "linalg/mat4.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        r(i, i) = 1.0;
+    return r;
+}
+
+Mat4
+Mat4::fromRows(const std::array<Complex, 16> &rows)
+{
+    Mat4 r;
+    r.a_ = rows;
+    return r;
+}
+
+Mat4
+Mat4::kron(const Mat2 &a, const Mat2 &b)
+{
+    Mat4 r;
+    for (int i = 0; i < 2; ++i)
+        for (int j = 0; j < 2; ++j)
+            for (int k = 0; k < 2; ++k)
+                for (int l = 0; l < 2; ++l)
+                    r(2 * i + k, 2 * j + l) = a(i, j) * b(k, l);
+    return r;
+}
+
+Mat4
+Mat4::diag(Complex d0, Complex d1, Complex d2, Complex d3)
+{
+    Mat4 r;
+    r(0, 0) = d0;
+    r(1, 1) = d1;
+    r(2, 2) = d2;
+    r(3, 3) = d3;
+    return r;
+}
+
+Mat4
+Mat4::operator+(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.a_[i] = a_[i] + o.a_[i];
+    return r;
+}
+
+Mat4
+Mat4::operator-(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.a_[i] = a_[i] - o.a_[i];
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) {
+        for (int k = 0; k < 4; ++k) {
+            const Complex aik = a_[4 * i + k];
+            if (aik == Complex{})
+                continue;
+            for (int j = 0; j < 4; ++j)
+                r.a_[4 * i + j] += aik * o.a_[4 * k + j];
+        }
+    }
+    return r;
+}
+
+Mat4
+Mat4::operator*(Complex s) const
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.a_[i] = a_[i] * s;
+    return r;
+}
+
+Mat4 &
+Mat4::operator+=(const Mat4 &o)
+{
+    for (int i = 0; i < 16; ++i)
+        a_[i] += o.a_[i];
+    return *this;
+}
+
+Mat4 &
+Mat4::operator*=(Complex s)
+{
+    for (auto &x : a_)
+        x *= s;
+    return *this;
+}
+
+Mat4
+Mat4::dagger() const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = std::conj((*this)(j, i));
+    return r;
+}
+
+Mat4
+Mat4::transpose() const
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = (*this)(j, i);
+    return r;
+}
+
+Mat4
+Mat4::conjugate() const
+{
+    Mat4 r;
+    for (int i = 0; i < 16; ++i)
+        r.a_[i] = std::conj(a_[i]);
+    return r;
+}
+
+Complex
+Mat4::trace() const
+{
+    return a_[0] + a_[5] + a_[10] + a_[15];
+}
+
+Complex
+Mat4::det() const
+{
+    // Gaussian elimination with partial pivoting on a local copy.
+    std::array<Complex, 16> m = a_;
+    Complex det_val = 1.0;
+    for (int col = 0; col < 4; ++col) {
+        int pivot = col;
+        double best = std::abs(m[4 * col + col]);
+        for (int r = col + 1; r < 4; ++r) {
+            const double mag = std::abs(m[4 * r + col]);
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best == 0.0)
+            return 0.0;
+        if (pivot != col) {
+            for (int c = 0; c < 4; ++c)
+                std::swap(m[4 * pivot + c], m[4 * col + c]);
+            det_val = -det_val;
+        }
+        const Complex d = m[4 * col + col];
+        det_val *= d;
+        for (int r = col + 1; r < 4; ++r) {
+            const Complex f = m[4 * r + col] / d;
+            if (f == Complex{})
+                continue;
+            for (int c = col; c < 4; ++c)
+                m[4 * r + c] -= f * m[4 * col + c];
+        }
+    }
+    return det_val;
+}
+
+double
+Mat4::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (const auto &x : a_)
+        s += std::norm(x);
+    return std::sqrt(s);
+}
+
+double
+Mat4::maxAbsDiff(const Mat4 &o) const
+{
+    double m = 0.0;
+    for (int i = 0; i < 16; ++i)
+        m = std::max(m, std::abs(a_[i] - o.a_[i]));
+    return m;
+}
+
+bool
+Mat4::isUnitary(double tol) const
+{
+    return (dagger() * (*this)).maxAbsDiff(identity()) <= tol;
+}
+
+Mat4
+Mat4::toSU4() const
+{
+    const Complex d = det();
+    const double mag = std::abs(d);
+    if (mag < 1e-14)
+        panic("toSU4 called on a singular matrix");
+    // Principal quartic root of the phase.
+    const double phase = std::arg(d) / 4.0;
+    const Complex scale =
+        std::pow(mag, -0.25) * std::exp(Complex(0.0, -phase));
+    return (*this) * scale;
+}
+
+std::string
+Mat4::str(int precision) const
+{
+    std::string s;
+    for (int r = 0; r < 4; ++r) {
+        s += "[ ";
+        for (int c = 0; c < 4; ++c) {
+            const Complex &z = (*this)(r, c);
+            s += strformat("%+.*f%+.*fi  ", precision, z.real(),
+                           precision, z.imag());
+        }
+        s += "]\n";
+    }
+    return s;
+}
+
+double
+traceInfidelity(const Mat4 &a, const Mat4 &b)
+{
+    Complex t{};
+    // Tr(a^dag b) without forming the product matrix.
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            t += std::conj(a(j, i)) * b(j, i);
+    const double overlap = std::norm(t) / 16.0;
+    return 1.0 - overlap;
+}
+
+} // namespace qbasis

@@ -1,0 +1,107 @@
+#ifndef QBASIS_LINALG_MAT4_HPP
+#define QBASIS_LINALG_MAT4_HPP
+
+/**
+ * @file
+ * Fixed-size 4x4 complex matrix for two-qubit operators.
+ *
+ * Mat4 is the workhorse of the Weyl-chamber, monodromy, and synthesis
+ * code. It is a stack value type; the multiply is fully unrolled by
+ * the compiler at -O2.
+ */
+
+#include <array>
+#include <string>
+
+#include "linalg/mat2.hpp"
+#include "linalg/types.hpp"
+
+namespace qbasis {
+
+/** Dense 4x4 complex matrix (row-major). */
+class Mat4
+{
+  public:
+    /** Zero matrix. */
+    Mat4() : a_{} {}
+
+    /** Element access (row, col). */
+    Complex &operator()(int r, int c) { return a_[4 * r + c]; }
+
+    /** Element access (row, col), const. */
+    const Complex &operator()(int r, int c) const { return a_[4 * r + c]; }
+
+    /** 4x4 identity. */
+    static Mat4 identity();
+
+    /** Build from 16 row-major entries. */
+    static Mat4 fromRows(const std::array<Complex, 16> &rows);
+
+    /** Kronecker product a (x) b of two 2x2 matrices. */
+    static Mat4 kron(const Mat2 &a, const Mat2 &b);
+
+    /** Diagonal matrix from 4 entries. */
+    static Mat4 diag(Complex d0, Complex d1, Complex d2, Complex d3);
+
+    Mat4 operator+(const Mat4 &o) const;
+    Mat4 operator-(const Mat4 &o) const;
+    Mat4 operator*(const Mat4 &o) const;
+    Mat4 operator*(Complex s) const;
+    Mat4 &operator+=(const Mat4 &o);
+    Mat4 &operator*=(Complex s);
+
+    /** Conjugate transpose. */
+    Mat4 dagger() const;
+
+    /** Transpose (no conjugation). */
+    Mat4 transpose() const;
+
+    /** Entry-wise complex conjugate. */
+    Mat4 conjugate() const;
+
+    /** Trace. */
+    Complex trace() const;
+
+    /** Determinant (Gaussian elimination with partial pivoting). */
+    Complex det() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest absolute entry of (this - o). */
+    double maxAbsDiff(const Mat4 &o) const;
+
+    /** True iff this' * this == I within tol. */
+    bool isUnitary(double tol = kMatTol) const;
+
+    /**
+     * Phase-normalize toward SU(4): returns U / det(U)^{1/4}.
+     *
+     * The branch of the quartic root is chosen so the result is
+     * continuous for matrices near the identity.
+     */
+    Mat4 toSU4() const;
+
+    /** Render as a readable multi-line string. */
+    std::string str(int precision = 4) const;
+
+  private:
+    std::array<Complex, 16> a_;
+};
+
+/** Scalar-matrix product. */
+inline Mat4
+operator*(Complex s, const Mat4 &m)
+{
+    return m * s;
+}
+
+/**
+ * Entanglement (trace) infidelity between two-qubit unitaries:
+ * 1 - |Tr(A^dag B)|^2 / 16. Zero iff A == B up to global phase.
+ */
+double traceInfidelity(const Mat4 &a, const Mat4 &b);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_MAT4_HPP

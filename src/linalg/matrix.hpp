@@ -1,0 +1,219 @@
+#ifndef QBASIS_LINALG_MATRIX_HPP
+#define QBASIS_LINALG_MATRIX_HPP
+
+/**
+ * @file
+ * Dynamic dense matrix template for real and complex scalars.
+ *
+ * Used where dimensions exceed 4 (the 27-dimensional device
+ * Hamiltonian, tomography linear systems, statevector utilities).
+ * Fixed 2x2/4x4 work should use Mat2/Mat4 instead.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/types.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+/** Dense row-major matrix of scalar type T. */
+template <typename T>
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols), a_(rows * cols, T{})
+    {}
+
+    /** Number of rows. */
+    size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    size_t cols() const { return cols_; }
+
+    /** Element access (row, col). */
+    T &operator()(size_t r, size_t c) { return a_[r * cols_ + c]; }
+
+    /** Element access (row, col), const. */
+    const T &operator()(size_t r, size_t c) const
+    {
+        return a_[r * cols_ + c];
+    }
+
+    /** Raw storage pointer (row-major). */
+    T *data() { return a_.data(); }
+
+    /** Raw storage pointer (row-major), const. */
+    const T *data() const { return a_.data(); }
+
+    /** n x n identity. */
+    static Matrix identity(size_t n)
+    {
+        Matrix m(n, n);
+        for (size_t i = 0; i < n; ++i)
+            m(i, i) = T{1};
+        return m;
+    }
+
+    Matrix operator+(const Matrix &o) const
+    {
+        checkSameShape(o);
+        Matrix r(rows_, cols_);
+        for (size_t i = 0; i < a_.size(); ++i)
+            r.a_[i] = a_[i] + o.a_[i];
+        return r;
+    }
+
+    Matrix operator-(const Matrix &o) const
+    {
+        checkSameShape(o);
+        Matrix r(rows_, cols_);
+        for (size_t i = 0; i < a_.size(); ++i)
+            r.a_[i] = a_[i] - o.a_[i];
+        return r;
+    }
+
+    Matrix operator*(const Matrix &o) const
+    {
+        if (cols_ != o.rows_)
+            panic("Matrix multiply shape mismatch: %zux%zu * %zux%zu",
+                  rows_, cols_, o.rows_, o.cols_);
+        Matrix r(rows_, o.cols_);
+        for (size_t i = 0; i < rows_; ++i) {
+            for (size_t k = 0; k < cols_; ++k) {
+                const T aik = (*this)(i, k);
+                if (aik == T{})
+                    continue;
+                const T *orow = &o.a_[k * o.cols_];
+                T *rrow = &r.a_[i * o.cols_];
+                for (size_t j = 0; j < o.cols_; ++j)
+                    rrow[j] += aik * orow[j];
+            }
+        }
+        return r;
+    }
+
+    Matrix operator*(T s) const
+    {
+        Matrix r(rows_, cols_);
+        for (size_t i = 0; i < a_.size(); ++i)
+            r.a_[i] = a_[i] * s;
+        return r;
+    }
+
+    Matrix &operator+=(const Matrix &o)
+    {
+        checkSameShape(o);
+        for (size_t i = 0; i < a_.size(); ++i)
+            a_[i] += o.a_[i];
+        return *this;
+    }
+
+    /** Transpose (no conjugation). */
+    Matrix transpose() const
+    {
+        Matrix r(cols_, rows_);
+        for (size_t i = 0; i < rows_; ++i)
+            for (size_t j = 0; j < cols_; ++j)
+                r(j, i) = (*this)(i, j);
+        return r;
+    }
+
+    /** Conjugate transpose (equals transpose for real T). */
+    Matrix dagger() const
+    {
+        Matrix r(cols_, rows_);
+        for (size_t i = 0; i < rows_; ++i)
+            for (size_t j = 0; j < cols_; ++j) {
+                if constexpr (std::is_same_v<T, Complex>)
+                    r(j, i) = std::conj((*this)(i, j));
+                else
+                    r(j, i) = (*this)(i, j);
+            }
+        return r;
+    }
+
+    /** Trace (square matrices). */
+    T trace() const
+    {
+        if (rows_ != cols_)
+            panic("trace of non-square matrix");
+        T t{};
+        for (size_t i = 0; i < rows_; ++i)
+            t += (*this)(i, i);
+        return t;
+    }
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const
+    {
+        double s = 0.0;
+        for (const auto &x : a_)
+            s += std::norm(Complex(x));
+        return std::sqrt(s);
+    }
+
+    /** Largest absolute entry of (this - o). */
+    double maxAbsDiff(const Matrix &o) const
+    {
+        checkSameShape(o);
+        double m = 0.0;
+        for (size_t i = 0; i < a_.size(); ++i)
+            m = std::max(m, std::abs(Complex(a_[i]) - Complex(o.a_[i])));
+        return m;
+    }
+
+    /** True iff dagger() * this == I within tol (square only). */
+    bool isUnitary(double tol = kMatTol) const
+    {
+        if (rows_ != cols_)
+            return false;
+        return (dagger() * (*this)).maxAbsDiff(identity(rows_)) <= tol;
+    }
+
+  private:
+    void checkSameShape(const Matrix &o) const
+    {
+        if (rows_ != o.rows_ || cols_ != o.cols_)
+            panic("Matrix shape mismatch: %zux%zu vs %zux%zu",
+                  rows_, cols_, o.rows_, o.cols_);
+    }
+
+    size_t rows_;
+    size_t cols_;
+    std::vector<T> a_;
+};
+
+/** Dynamic real matrix. */
+using RMat = Matrix<double>;
+
+/** Dynamic complex matrix. */
+using CMat = Matrix<Complex>;
+
+/** Kronecker product of dynamic matrices. */
+template <typename T>
+Matrix<T>
+kron(const Matrix<T> &a, const Matrix<T> &b)
+{
+    Matrix<T> r(a.rows() * b.rows(), a.cols() * b.cols());
+    for (size_t i = 0; i < a.rows(); ++i)
+        for (size_t j = 0; j < a.cols(); ++j) {
+            const T aij = a(i, j);
+            if (aij == T{})
+                continue;
+            for (size_t k = 0; k < b.rows(); ++k)
+                for (size_t l = 0; l < b.cols(); ++l)
+                    r(i * b.rows() + k, j * b.cols() + l) = aij * b(k, l);
+        }
+    return r;
+}
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_MATRIX_HPP

@@ -1,0 +1,39 @@
+#include "linalg/polar.hpp"
+
+#include <cmath>
+
+#include "linalg/eig_herm.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Mat4
+nearestUnitary4(const Mat4 &m)
+{
+    // (m^dag m) = V diag(lam) V^dag; U = m V diag(lam^{-1/2}) V^dag.
+    CMat h(4, 4);
+    const Mat4 mtm = m.dagger() * m;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            h(i, j) = mtm(i, j);
+    const HermEig eig = jacobiEigHerm(h);
+    for (double lam : eig.values) {
+        if (lam < 1e-12)
+            panic("nearestUnitary4: singular input");
+    }
+    Mat4 inv_sqrt;
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            Complex s{};
+            for (int k = 0; k < 4; ++k) {
+                s += eig.vectors(i, k)
+                     * (1.0 / std::sqrt(eig.values[k]))
+                     * std::conj(eig.vectors(j, k));
+            }
+            inv_sqrt(i, j) = s;
+        }
+    }
+    return m * inv_sqrt;
+}
+
+} // namespace qbasis

@@ -1,0 +1,23 @@
+#ifndef QBASIS_LINALG_POLAR_HPP
+#define QBASIS_LINALG_POLAR_HPP
+
+/**
+ * @file
+ * Polar decomposition utilities: project a near-unitary matrix onto
+ * the closest unitary (used to extract gate unitaries from simulated
+ * propagators with small leakage).
+ */
+
+#include "linalg/mat4.hpp"
+
+namespace qbasis {
+
+/**
+ * Closest unitary to `m` in Frobenius norm: U = m (m^dag m)^{-1/2}.
+ * Requires m to be nonsingular.
+ */
+Mat4 nearestUnitary4(const Mat4 &m);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_POLAR_HPP

@@ -1,0 +1,68 @@
+#include "linalg/random.hpp"
+
+#include <cmath>
+
+#include "linalg/su2.hpp"
+
+namespace qbasis {
+
+CMat
+randomUnitary(size_t n, Rng &rng)
+{
+    // Ginibre ensemble + Gram-Schmidt with phase fix gives Haar.
+    CMat g(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            g(i, j) = Complex(rng.normal(), rng.normal());
+
+    CMat q(n, n);
+    for (size_t col = 0; col < n; ++col) {
+        std::vector<Complex> v(n);
+        for (size_t r = 0; r < n; ++r)
+            v[r] = g(r, col);
+        // Orthogonalize against previous columns (twice for stability).
+        for (int pass = 0; pass < 2; ++pass) {
+            for (size_t prev = 0; prev < col; ++prev) {
+                Complex dot{};
+                for (size_t r = 0; r < n; ++r)
+                    dot += std::conj(q(r, prev)) * v[r];
+                for (size_t r = 0; r < n; ++r)
+                    v[r] -= dot * q(r, prev);
+            }
+        }
+        double norm = 0.0;
+        for (size_t r = 0; r < n; ++r)
+            norm += std::norm(v[r]);
+        norm = std::sqrt(norm);
+        // Classical Gram-Schmidt realizes the unique QR with
+        // R_ii > 0, which maps the Ginibre ensemble to Haar measure.
+        for (size_t r = 0; r < n; ++r)
+            q(r, col) = v[r] * (1.0 / norm);
+    }
+    return q;
+}
+
+Mat4
+randomUnitary4(Rng &rng)
+{
+    const CMat q = randomUnitary(4, rng);
+    Mat4 m;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            m(i, j) = q(i, j);
+    return m;
+}
+
+Mat4
+randomSU4(Rng &rng)
+{
+    return randomUnitary4(rng).toSU4();
+}
+
+Mat4
+randomLocal4(Rng &rng)
+{
+    return Mat4::kron(randomSU2(rng), randomSU2(rng));
+}
+
+} // namespace qbasis

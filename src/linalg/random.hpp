@@ -1,0 +1,29 @@
+#ifndef QBASIS_LINALG_RANDOM_HPP
+#define QBASIS_LINALG_RANDOM_HPP
+
+/**
+ * @file
+ * Haar-random unitary sampling for tests and Monte-Carlo studies.
+ */
+
+#include "linalg/mat4.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+/** Haar-random 4x4 unitary (QR of a complex Ginibre matrix). */
+Mat4 randomUnitary4(Rng &rng);
+
+/** Haar-random SU(4) element. */
+Mat4 randomSU4(Rng &rng);
+
+/** Random local operation u (x) v with u, v Haar on SU(2). */
+Mat4 randomLocal4(Rng &rng);
+
+/** Haar-random n x n unitary. */
+CMat randomUnitary(size_t n, Rng &rng);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_RANDOM_HPP

@@ -1,0 +1,133 @@
+#include "linalg/simdiag.hpp"
+
+#include <cmath>
+
+#include "linalg/eig_sym.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+RMat
+simultaneouslyDiagonalize(const RMat &a, const RMat &b, double degen_tol)
+{
+    const size_t n = a.rows();
+    if (a.cols() != n || b.rows() != n || b.cols() != n)
+        panic("simultaneouslyDiagonalize requires square same-size inputs");
+
+    const SymEig ea = jacobiEigSym(a);
+    RMat v = ea.vectors;
+
+    // Walk eigenvalue clusters of `a`; rotate inside each cluster to
+    // diagonalize the restriction of `b`.
+    size_t start = 0;
+    while (start < n) {
+        size_t end = start + 1;
+        while (end < n
+               && std::abs(ea.values[end] - ea.values[start]) < degen_tol) {
+            ++end;
+        }
+        const size_t k = end - start;
+        if (k > 1) {
+            // bsub = V_block^T b V_block  (k x k)
+            RMat bsub(k, k);
+            for (size_t i = 0; i < k; ++i) {
+                for (size_t j = 0; j < k; ++j) {
+                    double s = 0.0;
+                    for (size_t r = 0; r < n; ++r) {
+                        double t = 0.0;
+                        for (size_t c = 0; c < n; ++c)
+                            t += b(r, c) * v(c, start + j);
+                        s += v(r, start + i) * t;
+                    }
+                    bsub(i, j) = s;
+                }
+            }
+            const SymEig eb = jacobiEigSym(bsub);
+            // V_block <- V_block * W
+            RMat vnew(n, k);
+            for (size_t r = 0; r < n; ++r)
+                for (size_t j = 0; j < k; ++j) {
+                    double s = 0.0;
+                    for (size_t i = 0; i < k; ++i)
+                        s += v(r, start + i) * eb.vectors(i, j);
+                    vnew(r, j) = s;
+                }
+            for (size_t r = 0; r < n; ++r)
+                for (size_t j = 0; j < k; ++j)
+                    v(r, start + j) = vnew(r, j);
+        }
+        start = end;
+    }
+    return v;
+}
+
+RMat
+diagonalizeSymmetricUnitary(const CMat &m_in, std::vector<Complex> &d)
+{
+    const size_t n = m_in.rows();
+    if (m_in.cols() != n)
+        panic("diagonalizeSymmetricUnitary requires a square matrix");
+
+    // Symmetrize defensively.
+    CMat m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            m(i, j) = 0.5 * (m_in(i, j) + m_in(j, i));
+
+    RMat re(n, n), im(n, n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j) {
+            re(i, j) = m(i, j).real();
+            im(i, j) = m(i, j).imag();
+        }
+
+    RMat v = simultaneouslyDiagonalize(re, im);
+
+    // Force det(V) = +1 so downstream SO(4) mappings are valid.
+    // Determinant of an orthogonal matrix is +-1; compute via the
+    // permanent-free route: use the eigen decomposition trick is
+    // overkill -- a 4x4-or-small LU suffices, but n is tiny here, so
+    // do a simple Gaussian elimination determinant.
+    {
+        RMat lu = v;
+        double det = 1.0;
+        for (size_t col = 0; col < n; ++col) {
+            size_t piv = col;
+            for (size_t r = col + 1; r < n; ++r)
+                if (std::abs(lu(r, col)) > std::abs(lu(piv, col)))
+                    piv = r;
+            if (piv != col) {
+                for (size_t c = 0; c < n; ++c)
+                    std::swap(lu(piv, c), lu(col, c));
+                det = -det;
+            }
+            det *= lu(col, col);
+            if (lu(col, col) == 0.0)
+                break;
+            for (size_t r = col + 1; r < n; ++r) {
+                const double f = lu(r, col) / lu(col, col);
+                for (size_t c = col; c < n; ++c)
+                    lu(r, c) -= f * lu(col, c);
+            }
+        }
+        if (det < 0.0) {
+            for (size_t r = 0; r < n; ++r)
+                v(r, 0) = -v(r, 0);
+        }
+    }
+
+    d.assign(n, Complex{});
+    for (size_t k = 0; k < n; ++k) {
+        Complex s{};
+        for (size_t r = 0; r < n; ++r) {
+            Complex t{};
+            for (size_t c = 0; c < n; ++c)
+                t += m(r, c) * v(c, k);
+            s += v(r, k) * t;
+        }
+        d[k] = s;
+    }
+    return v;
+}
+
+} // namespace qbasis

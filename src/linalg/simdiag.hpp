@@ -1,0 +1,45 @@
+#ifndef QBASIS_LINALG_SIMDIAG_HPP
+#define QBASIS_LINALG_SIMDIAG_HPP
+
+/**
+ * @file
+ * Simultaneous diagonalization of commuting real symmetric matrices.
+ *
+ * This is the numerical core of the KAK decomposition: in the magic
+ * basis, M M^T is a complex symmetric unitary whose real and imaginary
+ * parts commute and are simultaneously diagonalized by one real
+ * orthogonal matrix.
+ */
+
+#include "linalg/matrix.hpp"
+
+namespace qbasis {
+
+/**
+ * Find a real orthogonal V such that V^T a V and V^T b V are both
+ * diagonal, for commuting symmetric a and b.
+ *
+ * Degenerate eigenvalues of `a` are resolved by diagonalizing the
+ * restriction of `b` to each eigenspace.
+ *
+ * @param a          first symmetric matrix.
+ * @param b          second symmetric matrix, commuting with `a`.
+ * @param degen_tol  eigenvalue clustering tolerance for `a`.
+ * @return orthogonal matrix of joint eigenvectors (columns).
+ */
+RMat simultaneouslyDiagonalize(const RMat &a, const RMat &b,
+                               double degen_tol = 1e-8);
+
+/**
+ * Diagonalize a complex symmetric unitary m = V diag(d) V^T with V
+ * real orthogonal (Takagi-like form for the unitary-symmetric case).
+ *
+ * @param m    complex symmetric unitary (defensively symmetrized).
+ * @param d    output diagonal (unit-modulus entries).
+ * @return real orthogonal V with det +1.
+ */
+RMat diagonalizeSymmetricUnitary(const CMat &m, std::vector<Complex> &d);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_SIMDIAG_HPP

@@ -1,0 +1,60 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+RMat
+solveLinearSystem(RMat a, RMat b)
+{
+    const size_t n = a.rows();
+    if (a.cols() != n || b.rows() != n)
+        panic("solveLinearSystem shape mismatch");
+
+    // Forward elimination with partial pivoting.
+    for (size_t col = 0; col < n; ++col) {
+        size_t pivot = col;
+        for (size_t r = col + 1; r < n; ++r)
+            if (std::abs(a(r, col)) > std::abs(a(pivot, col)))
+                pivot = r;
+        if (std::abs(a(pivot, col)) < 1e-300)
+            fatal("solveLinearSystem: singular matrix");
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(a(pivot, c), a(col, c));
+            for (size_t c = 0; c < b.cols(); ++c)
+                std::swap(b(pivot, c), b(col, c));
+        }
+        const double d = a(col, col);
+        for (size_t r = col + 1; r < n; ++r) {
+            const double f = a(r, col) / d;
+            if (f == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a(r, c) -= f * a(col, c);
+            for (size_t c = 0; c < b.cols(); ++c)
+                b(r, c) -= f * b(col, c);
+        }
+    }
+    // Back substitution.
+    RMat x(n, b.cols());
+    for (size_t r = n; r-- > 0;) {
+        for (size_t c = 0; c < b.cols(); ++c) {
+            double s = b(r, c);
+            for (size_t k = r + 1; k < n; ++k)
+                s -= a(r, k) * x(k, c);
+            x(r, c) = s / a(r, r);
+        }
+    }
+    return x;
+}
+
+RMat
+inverseMatrix(const RMat &a)
+{
+    return solveLinearSystem(a, RMat::identity(a.rows()));
+}
+
+} // namespace qbasis

@@ -1,0 +1,22 @@
+#ifndef QBASIS_LINALG_SOLVE_HPP
+#define QBASIS_LINALG_SOLVE_HPP
+
+/**
+ * @file
+ * Dense linear solves (Gaussian elimination with partial pivoting),
+ * used by the tomography reconstruction.
+ */
+
+#include "linalg/matrix.hpp"
+
+namespace qbasis {
+
+/** Solve A X = B for X (A square, nonsingular). */
+RMat solveLinearSystem(RMat a, RMat b);
+
+/** Inverse of a square nonsingular matrix. */
+RMat inverseMatrix(const RMat &a);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_SOLVE_HPP

@@ -1,0 +1,75 @@
+#ifndef QBASIS_LINALG_SU2_HPP
+#define QBASIS_LINALG_SU2_HPP
+
+/**
+ * @file
+ * Single-qubit operators: Paulis, rotations, U3, Haar sampling.
+ */
+
+#include "linalg/mat2.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+/** Pauli X. */
+Mat2 pauliX();
+
+/** Pauli Y. */
+Mat2 pauliY();
+
+/** Pauli Z. */
+Mat2 pauliZ();
+
+/** Hadamard. */
+Mat2 hadamard();
+
+/** RX(theta) = exp(-i theta X / 2). */
+Mat2 rx(double theta);
+
+/** RY(theta) = exp(-i theta Y / 2). */
+Mat2 ry(double theta);
+
+/** RZ(theta) = exp(-i theta Z / 2). */
+Mat2 rz(double theta);
+
+/** Phase gate diag(1, e^{i phi}). */
+Mat2 phaseGate(double phi);
+
+/**
+ * The standard U3 gate:
+ * [[cos(t/2), -e^{i l} sin(t/2)], [e^{i p} sin(t/2), e^{i(p+l)} cos(t/2)]].
+ */
+Mat2 u3(double theta, double phi, double lambda);
+
+/** Derivative of u3 with respect to theta. */
+Mat2 du3DTheta(double theta, double phi, double lambda);
+
+/** Derivative of u3 with respect to phi. */
+Mat2 du3DPhi(double theta, double phi, double lambda);
+
+/** Derivative of u3 with respect to lambda. */
+Mat2 du3DLambda(double theta, double phi, double lambda);
+
+/** Haar-random SU(2) element (via unit quaternion). */
+Mat2 randomSU2(Rng &rng);
+
+/**
+ * Recover U3 angles (theta, phi, lambda) and a global phase such that
+ * u = e^{i alpha} U3(theta, phi, lambda), for any unitary 2x2 u.
+ *
+ * @param u      input unitary.
+ * @param alpha  output global phase.
+ * @return {theta, phi, lambda}.
+ */
+struct U3Angles
+{
+    double theta;
+    double phi;
+    double lambda;
+    double alpha;
+};
+U3Angles toU3Angles(const Mat2 &u);
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_SU2_HPP

@@ -1,0 +1,30 @@
+#ifndef QBASIS_LINALG_TYPES_HPP
+#define QBASIS_LINALG_TYPES_HPP
+
+/**
+ * @file
+ * Shared scalar types and numeric constants for the linalg library.
+ */
+
+#include <complex>
+
+namespace qbasis {
+
+/** Complex scalar used throughout qbasis. */
+using Complex = std::complex<double>;
+
+/** Imaginary unit. */
+inline constexpr Complex kI{0.0, 1.0};
+
+/** pi with full double precision. */
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/** 2*pi. */
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/** Default tolerance for matrix identities (unitarity, equality). */
+inline constexpr double kMatTol = 1e-9;
+
+} // namespace qbasis
+
+#endif // QBASIS_LINALG_TYPES_HPP

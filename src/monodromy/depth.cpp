@@ -1,0 +1,76 @@
+#include "monodromy/depth.hpp"
+
+#include "monodromy/regions.hpp"
+#include "weyl/gates.hpp"
+#include "util/logging.hpp"
+#include "weyl/invariants.hpp"
+
+namespace qbasis {
+
+int
+predictSwapDepth(const CartanCoords &basis_class, double eps)
+{
+    const CartanCoords c = canonicalize(basis_class);
+    if (canSynthesizeSwapIn1Layer(c, eps))
+        return 1;
+    if (canSynthesizeSwapIn2Layers(c, eps))
+        return 2;
+    if (canSynthesizeSwapIn3Layers(c, eps))
+        return 3;
+    return 4;
+}
+
+int
+predictCnotDepth(const Mat4 &basis, int max_layers,
+                 const OracleOptions &opts)
+{
+    const CartanCoords c = cartanCoords(basis);
+    if (c.distance(coords::cnot()) <= 1e-9)
+        return 1;
+    if (canSynthesizeCnotIn2Layers(c))
+        return 2;
+    for (int n = 3; n <= max_layers; ++n) {
+        if (uniformLayerFeasible(cnotGate(), basis, n, opts))
+            return n;
+    }
+    return max_layers + 1;
+}
+
+int
+predictDepth(const Mat4 &target, const Mat4 &basis, int max_layers,
+             const OracleOptions &opts)
+{
+    const CartanCoords tc = cartanCoords(target);
+    // Zero layers: target is local.
+    if (tc.distance(coords::identity0()) <= 1e-9)
+        return 0;
+
+    const CartanCoords bc = cartanCoords(basis);
+
+    // Closed-form fast paths from the paper's Section V.
+    if (tc.distance(coords::swap()) <= 1e-9) {
+        const int d = predictSwapDepth(bc);
+        if (d <= 3)
+            return d;
+        // Fall through to the oracle ladder beyond 3 layers.
+        for (int n = 4; n <= max_layers; ++n) {
+            if (uniformLayerFeasible(target, basis, n, opts))
+                return n;
+        }
+        return max_layers + 1;
+    }
+    if (tc.distance(coords::cnot()) <= 1e-9)
+        return predictCnotDepth(basis, max_layers, opts);
+
+    // Generic ladder: 1 layer is a direct class comparison, beyond
+    // that ask the oracle.
+    if (tc.distance(bc) <= 1e-9)
+        return 1;
+    for (int n = 2; n <= max_layers; ++n) {
+        if (uniformLayerFeasible(target, basis, n, opts))
+            return n;
+    }
+    return max_layers + 1;
+}
+
+} // namespace qbasis

@@ -1,0 +1,43 @@
+#ifndef QBASIS_MONODROMY_DEPTH_HPP
+#define QBASIS_MONODROMY_DEPTH_HPP
+
+/**
+ * @file
+ * Analytic-first circuit-depth prediction (the paper's Section VII
+ * speedup: skip straight to the provably feasible layer count in the
+ * numerical search).
+ */
+
+#include "linalg/mat4.hpp"
+#include "monodromy/oracle.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/**
+ * Predict the minimum number of basis-gate layers needed to realize
+ * `target` (up to locals) from repeated applications of `basis`.
+ *
+ * Uses closed-form region data for SWAP and CNOT targets and the
+ * numerical oracle for everything else.
+ *
+ * @param target      target 2Q gate.
+ * @param basis       basis 2Q gate.
+ * @param max_layers  give up beyond this depth (returns max_layers+1).
+ */
+int predictDepth(const Mat4 &target, const Mat4 &basis,
+                 int max_layers = 4, const OracleOptions &opts = {});
+
+/** Depth for a SWAP target from the closed-form regions (1..3, or 4+). */
+int predictSwapDepth(const CartanCoords &basis_class, double eps = 1e-9);
+
+/**
+ * Depth for a CNOT target: 1 if the basis is CNOT-class, 2 from the
+ * Fig. 4(e) region, otherwise falls back to the oracle ladder.
+ */
+int predictCnotDepth(const Mat4 &basis, int max_layers = 4,
+                     const OracleOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_MONODROMY_DEPTH_HPP

@@ -1,0 +1,103 @@
+#include "monodromy/logspec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbasis {
+
+namespace {
+
+/** Wrap into (-1/2, 1/2]. */
+double
+wrapHalf(double v)
+{
+    v -= std::floor(v + 0.5);
+    if (v <= -0.5)
+        v += 1.0;
+    return v;
+}
+
+/** Sort descending and shift branch so the entries sum to zero. */
+LogSpec
+normalizeLogSpec(LogSpec a)
+{
+    for (double &v : a)
+        v = wrapHalf(v);
+    std::sort(a.begin(), a.end(), std::greater<double>());
+    // Entries are each defined mod 1 with zero total; distribute the
+    // integer surplus (sum is an integer by construction).
+    double sum = a[0] + a[1] + a[2] + a[3];
+    int k = static_cast<int>(std::lround(sum));
+    // Subtract 1 from the largest entries (keeps descending order
+    // after re-sorting) until the sum vanishes.
+    int idx = 0;
+    while (k > 0) {
+        a[idx % 4] -= 1.0;
+        ++idx;
+        --k;
+    }
+    idx = 3;
+    while (k < 0) {
+        a[idx % 4] += 1.0;
+        --idx;
+        ++k;
+    }
+    std::sort(a.begin(), a.end(), std::greater<double>());
+    return a;
+}
+
+} // namespace
+
+LogSpec
+logSpecFromCoords(const CartanCoords &c)
+{
+    // Magic-basis eigenphases of CAN(t) are -pi/2 (s . t) over the
+    // sign triples with sx sy sz = -1; in units of 2 pi the fractions
+    // are -(s . t)/4 ... the LogSpec convention uses phase / (2 pi)
+    // scaled so that coordinates live on the same footing as t/2.
+    const double x = c.tx, y = c.ty, z = c.tz;
+    LogSpec a{
+        -(x + y - z) / 2.0,
+        -(x - y + z) / 2.0,
+        -(-x + y + z) / 2.0,
+        (x + y + z) / 2.0,
+    };
+    return normalizeLogSpec(a);
+}
+
+LogSpec
+logSpec(const Mat4 &u)
+{
+    return logSpecFromCoords(cartanCoords(u));
+}
+
+LogSpec
+rho(const LogSpec &a)
+{
+    LogSpec r{a[2] + 0.5, a[3] + 0.5, a[0] - 0.5, a[1] - 0.5};
+    return normalizeLogSpec(r);
+}
+
+CartanCoords
+coordsFromLogSpec(const LogSpec &a)
+{
+    // Invert the linear map of logSpecFromCoords: with
+    //   a1 = -(x+y-z)/2, a2 = -(x-y+z)/2, a3 = -(-x+y+z)/2,
+    //   a4 = (x+y+z)/2   (up to ordering and branch),
+    // x = -(a1+a2), y = -(a1+a3), z = -(a2+a3), then canonicalize.
+    const double x = -(a[0] + a[1]);
+    const double y = -(a[0] + a[2]);
+    const double z = -(a[1] + a[2]);
+    return canonicalize({x, y, z});
+}
+
+bool
+logSpecEqual(const LogSpec &a, const LogSpec &b, double eps)
+{
+    for (int i = 0; i < 4; ++i)
+        if (std::abs(a[i] - b[i]) > eps)
+            return false;
+    return true;
+}
+
+} // namespace qbasis

@@ -1,0 +1,43 @@
+#ifndef QBASIS_MONODROMY_LOGSPEC_HPP
+#define QBASIS_MONODROMY_LOGSPEC_HPP
+
+/**
+ * @file
+ * The LogSpec representation of two-qubit nonlocal classes used by
+ * Peterson et al. (Quantum 4, 247) and referenced by the paper's
+ * Theorem 5.1 discussion.
+ *
+ * LogSpec(U) is the sorted vector of magic-basis eigenphase fractions
+ * (a, b, c, d), a >= b >= c >= d, a+b+c+d = 0. A gate generally maps
+ * to two LogSpec points related by the involution
+ *   rho(a, b, c, d) = (c + 1/2, d + 1/2, a - 1/2, b - 1/2).
+ */
+
+#include <array>
+
+#include "linalg/mat4.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/** LogSpec 4-vector (descending, zero-sum). */
+using LogSpec = std::array<double, 4>;
+
+/** LogSpec of canonical coordinates. */
+LogSpec logSpecFromCoords(const CartanCoords &c);
+
+/** LogSpec of a unitary (via its canonical coordinates). */
+LogSpec logSpec(const Mat4 &u);
+
+/** The rho involution from the paper's Theorem 5.1 discussion. */
+LogSpec rho(const LogSpec &a);
+
+/** Canonical coordinates of a LogSpec point (inverse map). */
+CartanCoords coordsFromLogSpec(const LogSpec &a);
+
+/** True when the two LogSpec vectors agree within eps. */
+bool logSpecEqual(const LogSpec &a, const LogSpec &b, double eps = 1e-9);
+
+} // namespace qbasis
+
+#endif // QBASIS_MONODROMY_LOGSPEC_HPP

@@ -1,0 +1,49 @@
+#include "monodromy/mirror.hpp"
+
+#include <algorithm>
+
+#include "weyl/geometry.hpp"
+
+namespace qbasis {
+
+CartanCoords
+swapMirror(const CartanCoords &b)
+{
+    const CartanCoords canon = canonicalize(b);
+    return canonicalize(
+        {0.5 - canon.tx, 0.5 - canon.ty, 0.5 - canon.tz});
+}
+
+bool
+isSwapMirrorFixedPoint(const CartanCoords &c, double eps)
+{
+    const CartanCoords canon = canonicalize(c);
+    return canon.distance(swapMirror(canon)) <= eps;
+}
+
+void
+l0Segment(CartanCoords &a, CartanCoords &b)
+{
+    a = coords::bGate();
+    b = coords::sqrtSwap();
+}
+
+void
+l1Segment(CartanCoords &a, CartanCoords &b)
+{
+    a = coords::bGate();
+    b = coords::sqrtSwapDag();
+}
+
+double
+distanceToL0L1(const CartanCoords &c)
+{
+    const CartanCoords canon = canonicalize(c);
+    CartanCoords a0, b0, a1, b1;
+    l0Segment(a0, b0);
+    l1Segment(a1, b1);
+    return std::min(pointSegmentDistance(canon, a0, b0),
+                    pointSegmentDistance(canon, a1, b1));
+}
+
+} // namespace qbasis

@@ -1,0 +1,40 @@
+#ifndef QBASIS_MONODROMY_MIRROR_HPP
+#define QBASIS_MONODROMY_MIRROR_HPP
+
+/**
+ * @file
+ * The SWAP-mirror map of the paper's Appendix B.
+ *
+ * For every local class [B] there is exactly one class [C] such that
+ * B and C synthesize SWAP in two layers:
+ *   coords([C]) = canonicalize((1/2,1/2,1/2) - coords([B])).
+ * Example: mirror(CNOT) = iSWAP. Fixed points form the segments
+ * L0 (B to sqrt(SWAP)) and L1 (B to sqrt(SWAP)^dag) -- exactly the
+ * gates that synthesize SWAP in two layers of a single basis gate.
+ */
+
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/** Mirror class for 2-layer SWAP synthesis (Appendix B). */
+CartanCoords swapMirror(const CartanCoords &b);
+
+/** True iff coords are their own SWAP mirror (within eps). */
+bool isSwapMirrorFixedPoint(const CartanCoords &c, double eps = 1e-9);
+
+/** Endpoints of the L0 segment: B gate to sqrt(SWAP). */
+void l0Segment(CartanCoords &a, CartanCoords &b);
+
+/** Endpoints of the L1 segment: B gate to sqrt(SWAP)^dag. */
+void l1Segment(CartanCoords &a, CartanCoords &b);
+
+/**
+ * Distance from canonical coords to L0 union L1; zero exactly for
+ * gates able to synthesize SWAP in 2 layers of one basis gate.
+ */
+double distanceToL0L1(const CartanCoords &c);
+
+} // namespace qbasis
+
+#endif // QBASIS_MONODROMY_MIRROR_HPP

@@ -1,0 +1,282 @@
+#include "monodromy/oracle.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "linalg/su2.hpp"
+#include "opt/adam.hpp"
+#include "opt/lbfgs.hpp"
+#include "opt/multistart.hpp"
+#include "opt/nelder_mead.hpp"
+#include "util/logging.hpp"
+#include "weyl/gates.hpp"
+#include "weyl/invariants.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/** ZYZ Euler rotation (always det +1). */
+Mat2
+zyz(double a, double b, double c)
+{
+    return rz(a) * ry(b) * rz(c);
+}
+
+/** Derivatives of the ZYZ rotation with respect to its angles. */
+void
+zyzWithDerivs(double a, double b, double c, Mat2 &w, Mat2 da[3])
+{
+    const Mat2 za = rz(a);
+    const Mat2 yb = ry(b);
+    const Mat2 zc = rz(c);
+    w = za * yb * zc;
+    const Complex half(0.0, -0.5);
+    da[0] = (pauliZ() * za * half) * yb * zc;
+    da[1] = za * (pauliY() * yb * half) * zc;
+    da[2] = za * yb * (pauliZ() * zc * half);
+}
+
+/** Tr(G (x1 kron x0)). */
+Complex
+traceWithKron(const Mat4 &g, const Mat2 &x1, const Mat2 &x0)
+{
+    Complex s{};
+    for (int r1 = 0; r1 < 2; ++r1)
+        for (int c1 = 0; c1 < 2; ++c1)
+            for (int r0 = 0; r0 < 2; ++r0)
+                for (int c0 = 0; c0 < 2; ++c0) {
+                    s += g(2 * c1 + c0, 2 * r1 + r0) * x1(r1, c1)
+                         * x0(r0, c0);
+                }
+    return s;
+}
+
+/**
+ * Invariant-distance objective (with analytic gradient) over the
+ * middle local layers of the sandwich
+ *   M(w) = (Q^dag B1) W1 (B2) W2 ... (Bn Q),
+ * all fixed factors special so the product stays in SU(4).
+ */
+struct Chain
+{
+    std::vector<Mat4> factors; ///< n+1 fixed factors between locals.
+    MakhlinInvariants target;
+
+    size_t middles() const { return factors.size() - 1; }
+
+    double
+    valueAndGrad(const std::vector<double> &p,
+                 std::vector<double> &grad) const
+    {
+        const size_t nw = middles();
+
+        // Build locals with derivatives.
+        std::vector<Mat2> w1(nw), w0(nw);
+        std::vector<std::array<Mat2, 3>> d1(nw), d0(nw);
+        std::vector<Mat4> wk(nw);
+        for (size_t j = 0; j < nw; ++j) {
+            Mat2 da[3];
+            zyzWithDerivs(p[6 * j], p[6 * j + 1], p[6 * j + 2], w1[j],
+                          da);
+            d1[j] = {da[0], da[1], da[2]};
+            zyzWithDerivs(p[6 * j + 3], p[6 * j + 4], p[6 * j + 5],
+                          w0[j], da);
+            d0[j] = {da[0], da[1], da[2]};
+            wk[j] = Mat4::kron(w1[j], w0[j]);
+        }
+
+        // Prefix products A_j = F0 W1 F1 ... W_j F_j.
+        std::vector<Mat4> prefix(nw + 1);
+        prefix[0] = factors[0];
+        for (size_t j = 0; j < nw; ++j)
+            prefix[j + 1] = prefix[j] * wk[j] * factors[j + 1];
+        const Mat4 &m = prefix[nw];
+
+        // Suffix products R_j = F_j W_{j+1} F_{j+1} ... F_n
+        // (everything right of W_j).
+        std::vector<Mat4> suffix(nw + 1);
+        suffix[nw] = factors[nw];
+        for (size_t j = nw; j-- > 1;)
+            suffix[j] = factors[j] * wk[j] * suffix[j + 1];
+
+        // Invariants of M.
+        const Mat4 mtm = m.transpose() * m;
+        const Complex tr = mtm.trace();
+        Complex tr2{};
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                tr2 += mtm(i, j) * mtm(j, i);
+        const Complex g1 = tr * tr / 16.0;
+        const Complex g2c = (tr * tr - tr2) / 4.0;
+        const Complex dg1_t = g1 - target.g1;
+        const double dg2_t = g2c.real() - target.g2;
+        const double f = std::norm(dg1_t) + dg2_t * dg2_t;
+
+        // Gradient: dtr = 2 Tr(M^T dM); dtr2 = 4 Tr(mtm M^T dM);
+        // dM = A_{j-1} dW_j R_{j+1-ish}. Precompute the two
+        // "cotangent" matrices contracted around each W slot.
+        const Mat4 mt = m.transpose();
+        const Mat4 mtm_mt = mtm * mt;
+        for (size_t j = 0; j < nw; ++j) {
+            // dM = prefix[j] dW_j suffix[j+1].
+            const Mat4 &l = prefix[j];
+            const Mat4 &r = suffix[j + 1];
+            const Mat4 ga = r * mt * l;      // Tr(ga dW) = Tr(M^T dM)
+            const Mat4 gb = r * mtm_mt * l;  // Tr(gb dW) = Tr(mtm M^T dM)
+
+            for (int k = 0; k < 6; ++k) {
+                Complex ta, tb;
+                if (k < 3) {
+                    ta = traceWithKron(ga, d1[j][k], w0[j]);
+                    tb = traceWithKron(gb, d1[j][k], w0[j]);
+                } else {
+                    ta = traceWithKron(ga, w1[j], d0[j][k - 3]);
+                    tb = traceWithKron(gb, w1[j], d0[j][k - 3]);
+                }
+                const Complex dtr = 2.0 * ta;
+                const Complex dtr2 = 4.0 * tb;
+                const Complex dg1 = 2.0 * tr * dtr / 16.0;
+                const Complex dg2 = (2.0 * tr * dtr - dtr2) / 4.0;
+                grad[6 * j + k] =
+                    2.0 * std::real(std::conj(dg1_t) * dg1)
+                    + 2.0 * dg2_t * dg2.real();
+            }
+        }
+        return f;
+    }
+
+    double
+    value(const std::vector<double> &p) const
+    {
+        const size_t nw = middles();
+        Mat4 m = factors[0];
+        for (size_t j = 0; j < nw; ++j) {
+            const Mat2 a = zyz(p[6 * j], p[6 * j + 1], p[6 * j + 2]);
+            const Mat2 b =
+                zyz(p[6 * j + 3], p[6 * j + 4], p[6 * j + 5]);
+            m = m * Mat4::kron(a, b) * factors[j + 1];
+        }
+        const Mat4 mtm = m.transpose() * m;
+        const Complex tr = mtm.trace();
+        Complex tr2{};
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                tr2 += mtm(i, j) * mtm(j, i);
+        MakhlinInvariants inv;
+        inv.g1 = tr * tr / 16.0;
+        inv.g2 = ((tr * tr - tr2) / 4.0).real();
+        return invariantDistanceSq(inv, target);
+    }
+};
+
+Chain
+makeChain(const Mat4 &target, const std::vector<Mat4> &layers)
+{
+    if (layers.size() < 2)
+        panic("layered oracle requires at least two layers");
+    const Mat4 q = magicBasis();
+    const Mat4 qd = q.dagger();
+
+    Chain chain;
+    chain.target = makhlinInvariants(target);
+    chain.factors.reserve(layers.size() + 1);
+    chain.factors.push_back(qd * layers.front().toSU4());
+    for (size_t i = 1; i + 1 < layers.size(); ++i)
+        chain.factors.push_back(layers[i].toSU4());
+    chain.factors.push_back(layers.back().toSU4() * q);
+    return chain;
+}
+
+} // namespace
+
+double
+layeredResidual(const Mat4 &target, const std::vector<Mat4> &layers,
+                const OracleOptions &opts)
+{
+    const Chain chain = makeChain(target, layers);
+    const size_t dim = 6 * chain.middles();
+
+    const auto grad_obj = [&chain](const std::vector<double> &x,
+                                   std::vector<double> &g) {
+        return chain.valueAndGrad(x, g);
+    };
+
+    MultistartOptions ms;
+    ms.max_restarts = opts.restarts;
+    ms.target = opts.residual_tol * opts.residual_tol;
+    ms.seed = opts.seed;
+
+    AdamOptions adam;
+    adam.max_iters = opts.nm_iters / 2;
+    adam.lr = 0.15;
+    adam.target = ms.target * 0.01;
+
+    LbfgsOptions lbfgs;
+    lbfgs.max_iters = opts.nm_iters;
+    lbfgs.target = adam.target;
+
+    const OptResult best = multistart(
+        [dim](Rng &rng) {
+            std::vector<double> x(dim);
+            for (double &v : x)
+                v = rng.uniform(-kPi, kPi);
+            return x;
+        },
+        [&](std::vector<double> x0) {
+            OptResult r = adamMinimize(grad_obj, std::move(x0), adam);
+            OptResult p = lbfgsMinimize(grad_obj, r.x, lbfgs);
+            p.iterations += r.iterations;
+            return p.fval < r.fval ? p : r;
+        },
+        ms);
+
+    return std::sqrt(std::max(best.fval, 0.0));
+}
+
+bool
+layeredFeasible(const Mat4 &target, const std::vector<Mat4> &layers,
+                const OracleOptions &opts)
+{
+    return layeredResidual(target, layers, opts) <= opts.residual_tol;
+}
+
+double
+twoLayerResidual(const Mat4 &target, const Mat4 &b, const Mat4 &c,
+                 const OracleOptions &opts)
+{
+    return layeredResidual(target, {b, c}, opts);
+}
+
+bool
+twoLayerFeasible(const Mat4 &target, const Mat4 &b, const Mat4 &c,
+                 const OracleOptions &opts)
+{
+    return layeredFeasible(target, {b, c}, opts);
+}
+
+double
+uniformLayerResidual(const Mat4 &target, const Mat4 &basis, int layers,
+                     const OracleOptions &opts)
+{
+    if (layers < 1)
+        panic("uniformLayerResidual requires layers >= 1");
+    if (layers == 1) {
+        // Direct invariant comparison; no free parameters.
+        const MakhlinInvariants a = makhlinInvariants(target);
+        const MakhlinInvariants g = makhlinInvariants(basis);
+        return std::sqrt(invariantDistanceSq(a, g));
+    }
+    return layeredResidual(target,
+                           std::vector<Mat4>(layers, basis), opts);
+}
+
+bool
+uniformLayerFeasible(const Mat4 &target, const Mat4 &basis, int layers,
+                     const OracleOptions &opts)
+{
+    return uniformLayerResidual(target, basis, layers, opts)
+           <= opts.residual_tol;
+}
+
+} // namespace qbasis

@@ -1,0 +1,182 @@
+#include "monodromy/regions.hpp"
+
+#include "monodromy/mirror.hpp"
+
+namespace qbasis {
+
+namespace {
+
+constexpr double k16 = 1.0 / 6.0;
+constexpr double k13 = 1.0 / 3.0;
+constexpr double k14 = 0.25;
+constexpr double k12 = 0.5;
+constexpr double k34 = 0.75;
+constexpr double k56 = 5.0 / 6.0;
+constexpr double k23 = 2.0 / 3.0;
+
+/** True when p lies on any of the faces, within eps. */
+bool
+onAnyFace(const CartanCoords &p, const std::vector<Triangle> &faces,
+          double eps)
+{
+    for (const Triangle &f : faces) {
+        // Distance check via barycentric projection: reuse the
+        // segment-triangle helper by casting a tiny segment through
+        // the point along the face normal. Cheaper: check that p is
+        // within eps of the face plane and inside the 2D triangle by
+        // solving least squares on the two edge vectors.
+        const CartanCoords e1 = f.v[1] - f.v[0];
+        const CartanCoords e2 = f.v[2] - f.v[0];
+        const CartanCoords r = p - f.v[0];
+        // Solve [e1 e2] [u v]^T ~= r in least squares.
+        const double a11 = e1.tx * e1.tx + e1.ty * e1.ty + e1.tz * e1.tz;
+        const double a12 = e1.tx * e2.tx + e1.ty * e2.ty + e1.tz * e2.tz;
+        const double a22 = e2.tx * e2.tx + e2.ty * e2.ty + e2.tz * e2.tz;
+        const double b1 = e1.tx * r.tx + e1.ty * r.ty + e1.tz * r.tz;
+        const double b2 = e2.tx * r.tx + e2.ty * r.ty + e2.tz * r.tz;
+        const double det = a11 * a22 - a12 * a12;
+        if (std::abs(det) < 1e-300)
+            continue;
+        const double u = (b1 * a22 - b2 * a12) / det;
+        const double v = (a11 * b2 - a12 * b1) / det;
+        if (u < -eps || v < -eps || u + v > 1.0 + eps)
+            continue;
+        const CartanCoords proj = f.v[0] + e1 * u + e2 * v;
+        if (p.distance(proj) <= eps)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+const std::array<Tetrahedron, 4> &
+swap3ComplementTetrahedra()
+{
+    static const std::array<Tetrahedron, 4> tets = {
+        // Bottom-left: around I0.
+        Tetrahedron{{coords::identity0(), coords::cnot(),
+                     CartanCoords{k14, k14, 0.0},
+                     CartanCoords{k16, k16, k16}}},
+        // Bottom-right: around I1.
+        Tetrahedron{{coords::cnot(), coords::identity1(),
+                     CartanCoords{k34, k14, 0.0},
+                     CartanCoords{k56, k16, k16}}},
+        // Upper-left sliver at SWAP.
+        Tetrahedron{{coords::swap(), CartanCoords{k12, k16, k16},
+                     CartanCoords{k16, k16, k16},
+                     CartanCoords{k13, k13, k16}}},
+        // Upper-right sliver at SWAP.
+        Tetrahedron{{coords::swap(), CartanCoords{k12, k16, k16},
+                     CartanCoords{k56, k16, k16},
+                     CartanCoords{k23, k13, k16}}},
+    };
+    return tets;
+}
+
+const std::array<Tetrahedron, 3> &
+cnot2ComplementTetrahedra()
+{
+    static const std::array<Tetrahedron, 3> tets = {
+        // Around I0, capped by the tx = 1/4 face.
+        Tetrahedron{{coords::identity0(), CartanCoords{k14, 0.0, 0.0},
+                     CartanCoords{k14, k14, 0.0}, coords::sqrtSwap()}},
+        // Around I1, capped by the tx = 3/4 face.
+        Tetrahedron{{coords::identity1(), CartanCoords{k34, 0.0, 0.0},
+                     CartanCoords{k34, k14, 0.0},
+                     coords::sqrtSwapDag()}},
+        // Around SWAP.
+        Tetrahedron{{coords::swap(), coords::sqrtSwap(),
+                     coords::sqrtSwapDag(),
+                     CartanCoords{k12, k12, k14}}},
+    };
+    return tets;
+}
+
+const std::vector<Triangle> &
+swap3EntryFaces()
+{
+    static const std::vector<Triangle> faces = {
+        Triangle{{coords::cnot(), CartanCoords{k14, k14, 0.0},
+                  CartanCoords{k16, k16, k16}}},
+        Triangle{{coords::cnot(), CartanCoords{k34, k14, 0.0},
+                  CartanCoords{k56, k16, k16}}},
+    };
+    return faces;
+}
+
+const std::vector<Triangle> &
+cnot2EntryFaces()
+{
+    static const std::vector<Triangle> faces = {
+        Triangle{{CartanCoords{k14, 0.0, 0.0},
+                  CartanCoords{k14, k14, 0.0}, coords::sqrtSwap()}},
+        Triangle{{CartanCoords{k34, 0.0, 0.0},
+                  CartanCoords{k34, k14, 0.0}, coords::sqrtSwapDag()}},
+    };
+    return faces;
+}
+
+bool
+canSynthesizeSwapIn1Layer(const CartanCoords &c, double eps)
+{
+    return canonicalize(c).distance(coords::swap()) <= eps;
+}
+
+bool
+canSynthesizeSwapIn2Layers(const CartanCoords &c, double eps)
+{
+    return distanceToL0L1(c) <= eps;
+}
+
+bool
+canSynthesizeSwapIn2Layers(const CartanCoords &b, const CartanCoords &c,
+                           double eps)
+{
+    return canonicalize(c).distance(swapMirror(b)) <= eps;
+}
+
+bool
+canSynthesizeSwapIn3Layers(const CartanCoords &c, double eps)
+{
+    const CartanCoords canon = canonicalize(c);
+    // "<= 3 layers": gates that do SWAP in 1 or 2 layers qualify
+    // even where they touch the complement tetrahedra (e.g. the
+    // SWAP vertex itself, since SWAP^3 = SWAP).
+    if (canSynthesizeSwapIn1Layer(canon, eps)
+        || canSynthesizeSwapIn2Layers(canon, eps)) {
+        return true;
+    }
+    // Points strictly inside any complement tetrahedron are unable;
+    // boundary points are able only on the published entry faces
+    // (the rest of the boundary, e.g. the CPHASE axis, stays unable).
+    if (onAnyFace(canon, swap3EntryFaces(), eps))
+        return true;
+    for (const Tetrahedron &t : swap3ComplementTetrahedra()) {
+        if (t.contains(canon, eps))
+            return false;
+    }
+    return true;
+}
+
+bool
+canSynthesizeCnotIn2Layers(const CartanCoords &c, double eps)
+{
+    const CartanCoords canon = canonicalize(c);
+    if (onAnyFace(canon, cnot2EntryFaces(), eps))
+        return true;
+    for (const Tetrahedron &t : cnot2ComplementTetrahedra()) {
+        if (t.contains(canon, eps))
+            return false;
+    }
+    return true;
+}
+
+bool
+inCriterion2Region(const CartanCoords &c, double eps)
+{
+    return canSynthesizeSwapIn3Layers(c, eps)
+           && canSynthesizeCnotIn2Layers(c, eps);
+}
+
+} // namespace qbasis

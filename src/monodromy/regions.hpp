@@ -1,0 +1,69 @@
+#ifndef QBASIS_MONODROMY_REGIONS_HPP
+#define QBASIS_MONODROMY_REGIONS_HPP
+
+/**
+ * @file
+ * Closed-form decomposition-power regions from the paper's Section V
+ * and Fig. 4.
+ *
+ * - SWAP in 1 layer: the SWAP vertex itself.
+ * - SWAP in 2 layers (single gate): the segments L0 and L1.
+ * - SWAP in 3 layers: everything except four tetrahedra (Fig. 4(d));
+ *   the able set covers 68.5% of the chamber.
+ * - CNOT in 2 layers: everything except three tetrahedra (Fig. 4(e));
+ *   the able set covers 75% of the chamber.
+ *
+ * Trajectory selection uses the "entry faces": the first crossing of
+ * a trajectory from the identity corner into the able region happens
+ * through {CZ, (1/4,1/4,0), (1/6,1/6,1/6)} (or its mirror) for SWAP-3
+ * and through the tx = 1/4 (or 3/4) face for CNOT-2.
+ */
+
+#include <array>
+#include <vector>
+
+#include "weyl/cartan.hpp"
+#include "weyl/geometry.hpp"
+
+namespace qbasis {
+
+/** The four tetrahedra of gates unable to do SWAP in 3 layers. */
+const std::array<Tetrahedron, 4> &swap3ComplementTetrahedra();
+
+/** The three tetrahedra of gates unable to do CNOT in 2 layers. */
+const std::array<Tetrahedron, 3> &cnot2ComplementTetrahedra();
+
+/** Entry faces for the SWAP-3 region (Fig. 4(d) crossing faces). */
+const std::vector<Triangle> &swap3EntryFaces();
+
+/** Entry faces for the CNOT-2 region (tx = 1/4 and tx = 3/4). */
+const std::vector<Triangle> &cnot2EntryFaces();
+
+/** True iff the class of c is SWAP itself (1-layer synthesis). */
+bool canSynthesizeSwapIn1Layer(const CartanCoords &c, double eps = 1e-9);
+
+/**
+ * True iff one gate of class c repeated twice synthesizes SWAP
+ * (c on L0 or L1, Appendix B fixed points).
+ */
+bool canSynthesizeSwapIn2Layers(const CartanCoords &c, double eps = 1e-9);
+
+/**
+ * True iff classes b and c together synthesize SWAP in 2 layers
+ * (c equals the SWAP-mirror of b).
+ */
+bool canSynthesizeSwapIn2Layers(const CartanCoords &b,
+                                const CartanCoords &c, double eps = 1e-9);
+
+/** True iff class c synthesizes SWAP in at most 3 layers. */
+bool canSynthesizeSwapIn3Layers(const CartanCoords &c, double eps = 1e-9);
+
+/** True iff class c synthesizes CNOT in at most 2 layers. */
+bool canSynthesizeCnotIn2Layers(const CartanCoords &c, double eps = 1e-9);
+
+/** Criterion 2 region: SWAP in <= 3 layers AND CNOT in <= 2 layers. */
+bool inCriterion2Region(const CartanCoords &c, double eps = 1e-9);
+
+} // namespace qbasis
+
+#endif // QBASIS_MONODROMY_REGIONS_HPP

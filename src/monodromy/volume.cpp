@@ -1,0 +1,34 @@
+#include "monodromy/volume.hpp"
+
+#include "weyl/geometry.hpp"
+
+namespace qbasis {
+
+CartanCoords
+sampleChamberPoint(Rng &rng)
+{
+    static const Tetrahedron chamber = weylChamberTetrahedron();
+    // Rejection sampling from the bounding box; acceptance ~ 1/6.
+    for (;;) {
+        const CartanCoords p{rng.uniform(0.0, 1.0),
+                             rng.uniform(0.0, 0.5),
+                             rng.uniform(0.0, 0.5)};
+        if (chamber.contains(p))
+            return p;
+    }
+}
+
+double
+chamberVolumeFraction(
+    const std::function<bool(const CartanCoords &)> &pred, int samples,
+    Rng &rng)
+{
+    int hits = 0;
+    for (int i = 0; i < samples; ++i) {
+        if (pred(sampleChamberPoint(rng)))
+            ++hits;
+    }
+    return static_cast<double>(hits) / samples;
+}
+
+} // namespace qbasis

@@ -1,0 +1,32 @@
+#ifndef QBASIS_MONODROMY_VOLUME_HPP
+#define QBASIS_MONODROMY_VOLUME_HPP
+
+/**
+ * @file
+ * Monte-Carlo volume estimation over the Weyl chamber, used to
+ * reproduce the paper's 68.5% / 75% region volumes and the PE = 50%
+ * check, and to cross-validate the closed-form regions against the
+ * numerical oracle.
+ */
+
+#include <functional>
+
+#include "util/rng.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/** Uniform sample inside the canonical Weyl chamber. */
+CartanCoords sampleChamberPoint(Rng &rng);
+
+/**
+ * Fraction of chamber volume where `pred` holds, from `samples`
+ * uniform chamber points.
+ */
+double chamberVolumeFraction(
+    const std::function<bool(const CartanCoords &)> &pred, int samples,
+    Rng &rng);
+
+} // namespace qbasis
+
+#endif // QBASIS_MONODROMY_VOLUME_HPP

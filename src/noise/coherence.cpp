@@ -1,0 +1,55 @@
+#include "noise/coherence.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+double
+idleSurvival(double t_ns, double t_coherence_ns)
+{
+    if (t_ns < 0.0)
+        panic("idleSurvival: negative duration");
+    return std::exp(-t_ns / t_coherence_ns);
+}
+
+double
+coherenceLimitError(int n_qubits, double t_ns, double t1_ns,
+                    double t2_ns)
+{
+    if (n_qubits < 1 || n_qubits > 2)
+        fatal("coherenceLimitError supports 1 or 2 qubits (got %d)",
+              n_qubits);
+    const double f1_pro = (1.0 + 2.0 * std::exp(-t_ns / t2_ns)
+                           + std::exp(-t_ns / t1_ns))
+                          / 4.0;
+    const double f_pro =
+        n_qubits == 1 ? f1_pro : f1_pro * f1_pro;
+    const double d = n_qubits == 1 ? 2.0 : 4.0;
+    const double f_avg = (d * f_pro + 1.0) / (d + 1.0);
+    return 1.0 - f_avg;
+}
+
+double
+coherenceLimitError(int n_qubits, double t_ns, double t_ns_T)
+{
+    return coherenceLimitError(n_qubits, t_ns, t_ns_T, t_ns_T);
+}
+
+double
+circuitCoherenceFidelity(const Schedule &schedule,
+                         double t_coherence_ns)
+{
+    double fidelity = 1.0;
+    for (size_t q = 0; q < schedule.first_busy.size(); ++q) {
+        if (schedule.first_busy[q] < 0.0)
+            continue;
+        const double span =
+            schedule.last_busy[q] - schedule.first_busy[q];
+        fidelity *= idleSurvival(span, t_coherence_ns);
+    }
+    return fidelity;
+}
+
+} // namespace qbasis

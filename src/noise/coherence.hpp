@@ -1,0 +1,46 @@
+#ifndef QBASIS_NOISE_COHERENCE_HPP
+#define QBASIS_NOISE_COHERENCE_HPP
+
+/**
+ * @file
+ * Coherence-limited fidelity models (paper Section VIII-C).
+ *
+ * Two models are provided:
+ *  - the per-qubit e^{-t/T} circuit model the paper uses for
+ *    Table II (t spans from a qubit's first gate to its last), and
+ *  - a Qiskit-Ignis-style coherence_limit for individual gates
+ *    (Table I): average gate fidelity of idling under amplitude and
+ *    phase damping for the gate duration.
+ */
+
+#include "circuit/schedule.hpp"
+
+namespace qbasis {
+
+/** e^{-t/T} decoherence survival factor. */
+double idleSurvival(double t_ns, double t_coherence_ns);
+
+/**
+ * Coherence-limited average gate error for an n-qubit gate of the
+ * given duration (n = 1 or 2), equal T1 = T2 = T as in the paper.
+ *
+ * 1Q process fidelity: (1 + 2 e^{-t/T2} + e^{-t/T1}) / 4;
+ * nQ process fidelity multiplies per qubit; average fidelity is
+ * (d F_pro + 1) / (d + 1) with d = 2^n.
+ */
+double coherenceLimitError(int n_qubits, double t_ns, double t1_ns,
+                           double t2_ns);
+
+/** coherenceLimitError with T1 = T2 = T. */
+double coherenceLimitError(int n_qubits, double t_ns, double t_ns_T);
+
+/**
+ * The paper's Table II circuit fidelity: product over qubits of
+ * e^{-(t_last - t_first)/T}; untouched qubits contribute 1.
+ */
+double circuitCoherenceFidelity(const Schedule &schedule,
+                                double t_coherence_ns);
+
+} // namespace qbasis
+
+#endif // QBASIS_NOISE_COHERENCE_HPP

@@ -1,0 +1,62 @@
+#include "opt/adam.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+OptResult
+adamMinimize(const GradObjective &f, std::vector<double> x0,
+             const AdamOptions &opts)
+{
+    const size_t n = x0.size();
+    if (n == 0)
+        panic("adamMinimize requires at least one parameter");
+
+    std::vector<double> x = std::move(x0);
+    std::vector<double> grad(n, 0.0);
+    std::vector<double> m(n, 0.0), v(n, 0.0);
+
+    OptResult best;
+    best.x = x;
+    best.fval = 1e300;
+
+    int iter = 0;
+    for (; iter < opts.max_iters; ++iter) {
+        const double fx = f(x, grad);
+        if (fx < best.fval) {
+            best.fval = fx;
+            best.x = x;
+        }
+        if (fx <= opts.target) {
+            best.converged = true;
+            break;
+        }
+        double gnorm2 = 0.0;
+        for (double g : grad)
+            gnorm2 += g * g;
+        if (gnorm2 < opts.gtol * opts.gtol) {
+            best.converged = true;
+            break;
+        }
+
+        const double b1t = 1.0 - std::pow(opts.beta1, iter + 1);
+        const double b2t = 1.0 - std::pow(opts.beta2, iter + 1);
+        for (size_t i = 0; i < n; ++i) {
+            m[i] = opts.beta1 * m[i] + (1.0 - opts.beta1) * grad[i];
+            v[i] = opts.beta2 * v[i]
+                   + (1.0 - opts.beta2) * grad[i] * grad[i];
+            const double mhat = m[i] / b1t;
+            const double vhat = v[i] / b2t;
+            x[i] -= opts.lr * mhat / (std::sqrt(vhat) + opts.eps);
+        }
+    }
+
+    best.iterations = iter;
+    if (best.fval <= opts.target)
+        best.converged = true;
+    return best;
+}
+
+} // namespace qbasis

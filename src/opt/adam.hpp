@@ -1,0 +1,41 @@
+#ifndef QBASIS_OPT_ADAM_HPP
+#define QBASIS_OPT_ADAM_HPP
+
+/**
+ * @file
+ * Adam gradient-descent minimizer for objectives with analytic
+ * gradients (the layered-synthesis trace-fidelity objective).
+ */
+
+#include <functional>
+
+#include "opt/result.hpp"
+
+namespace qbasis {
+
+/** Options for adamMinimize(). */
+struct AdamOptions
+{
+    int max_iters = 800;    ///< Gradient steps.
+    double lr = 0.08;       ///< Base learning rate.
+    double beta1 = 0.9;     ///< First-moment decay.
+    double beta2 = 0.999;   ///< Second-moment decay.
+    double eps = 1e-9;      ///< Denominator regularizer.
+    double target = -1e300; ///< Early stop when f <= target.
+    double gtol = 1e-12;    ///< Gradient-norm convergence threshold.
+};
+
+/**
+ * Objective with gradient: returns f(x) and fills grad (resized by
+ * the caller contract to x.size()).
+ */
+using GradObjective = std::function<double(const std::vector<double> &,
+                                           std::vector<double> &)>;
+
+/** Minimize with Adam; returns the best iterate seen. */
+OptResult adamMinimize(const GradObjective &f, std::vector<double> x0,
+                       const AdamOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_OPT_ADAM_HPP

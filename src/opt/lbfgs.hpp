@@ -1,0 +1,36 @@
+#ifndef QBASIS_OPT_LBFGS_HPP
+#define QBASIS_OPT_LBFGS_HPP
+
+/**
+ * @file
+ * Limited-memory BFGS with Armijo backtracking line search.
+ *
+ * Used as the high-precision endgame of gate synthesis: Adam's
+ * fixed-step bounce floor sits near lr^2 while L-BFGS converges
+ * superlinearly to machine precision on the smooth trace-fidelity
+ * objective.
+ */
+
+#include "opt/adam.hpp"
+#include "opt/result.hpp"
+
+namespace qbasis {
+
+/** Options for lbfgsMinimize(). */
+struct LbfgsOptions
+{
+    int max_iters = 300;    ///< Outer iterations.
+    int history = 8;        ///< Number of curvature pairs kept.
+    double target = -1e300; ///< Early stop when f <= target.
+    double gtol = 1e-13;    ///< Gradient-norm stopping threshold.
+    double c1 = 1e-4;       ///< Armijo sufficient-decrease constant.
+    int max_backtracks = 30; ///< Line-search halvings.
+};
+
+/** Minimize a gradient objective with L-BFGS. */
+OptResult lbfgsMinimize(const GradObjective &f, std::vector<double> x0,
+                        const LbfgsOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_OPT_LBFGS_HPP

@@ -1,0 +1,31 @@
+#include "opt/multistart.hpp"
+
+namespace qbasis {
+
+OptResult
+multistart(const std::function<std::vector<double>(Rng &)> &sampler,
+           const std::function<OptResult(std::vector<double>)> &local,
+           const MultistartOptions &opts)
+{
+    Rng rng(opts.seed);
+    OptResult best;
+    best.fval = 1e300;
+    int total_iters = 0;
+    for (int r = 0; r < opts.max_restarts; ++r) {
+        OptResult res = local(sampler(rng));
+        total_iters += res.iterations;
+        if (res.fval < best.fval) {
+            best = std::move(res);
+        }
+        if (best.fval <= opts.target) {
+            best.converged = true;
+            break;
+        }
+    }
+    best.iterations = total_iters;
+    if (best.fval <= opts.target)
+        best.converged = true;
+    return best;
+}
+
+} // namespace qbasis

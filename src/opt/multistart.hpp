@@ -1,0 +1,39 @@
+#ifndef QBASIS_OPT_MULTISTART_HPP
+#define QBASIS_OPT_MULTISTART_HPP
+
+/**
+ * @file
+ * Multistart driver: run a local optimizer from random initial
+ * points until an objective target is reached.
+ */
+
+#include <functional>
+
+#include "opt/result.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+/** Options for multistart(). */
+struct MultistartOptions
+{
+    int max_restarts = 12;   ///< Upper bound on local runs.
+    double target = 1e-10;   ///< Stop once fval <= target.
+    uint64_t seed = 0xabcdefull; ///< RNG seed for initial points.
+};
+
+/**
+ * Run `local` from initial points drawn by `sampler` until the target
+ * is met or restarts are exhausted; returns the best result.
+ *
+ * @param sampler  draws an initial parameter vector.
+ * @param local    runs one local optimization from a start point.
+ */
+OptResult multistart(
+    const std::function<std::vector<double>(Rng &)> &sampler,
+    const std::function<OptResult(std::vector<double>)> &local,
+    const MultistartOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_OPT_MULTISTART_HPP

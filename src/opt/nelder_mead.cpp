@@ -1,0 +1,127 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+OptResult
+nelderMead(const ScalarObjective &f, std::vector<double> x0,
+           const NelderMeadOptions &opts)
+{
+    const size_t n = x0.size();
+    if (n == 0)
+        panic("nelderMead requires at least one parameter");
+
+    // Initial simplex: x0 plus one perturbed vertex per dimension.
+    std::vector<std::vector<double>> simplex(n + 1, x0);
+    std::vector<double> fv(n + 1);
+    for (size_t i = 0; i < n; ++i)
+        simplex[i + 1][i] += opts.init_step;
+    for (size_t i = 0; i <= n; ++i)
+        fv[i] = f(simplex[i]);
+
+    std::vector<size_t> order(n + 1);
+    auto sortSimplex = [&] {
+        for (size_t i = 0; i <= n; ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](size_t a, size_t b) { return fv[a] < fv[b]; });
+    };
+
+    int iter = 0;
+    for (; iter < opts.max_iters; ++iter) {
+        sortSimplex();
+        const size_t best = order[0];
+        const size_t worst = order[n];
+        const size_t second_worst = order[n - 1];
+
+        if (fv[best] <= opts.target)
+            break;
+        // Converged only when both the function spread and the
+        // simplex diameter are small: a symmetric simplex around a
+        // minimum has zero spread but is not yet converged.
+        if (fv[worst] - fv[best] < opts.ftol) {
+            double diam = 0.0;
+            for (size_t i = 1; i <= n; ++i)
+                for (size_t d = 0; d < n; ++d)
+                    diam = std::max(diam,
+                                    std::abs(simplex[i][d]
+                                             - simplex[0][d]));
+            if (diam < opts.xtol)
+                break;
+        }
+
+        // Centroid of all but the worst vertex.
+        std::vector<double> centroid(n, 0.0);
+        for (size_t i = 0; i <= n; ++i) {
+            if (i == worst)
+                continue;
+            for (size_t d = 0; d < n; ++d)
+                centroid[d] += simplex[i][d];
+        }
+        for (double &c : centroid)
+            c /= static_cast<double>(n);
+
+        auto affine = [&](double coeff) {
+            std::vector<double> p(n);
+            for (size_t d = 0; d < n; ++d) {
+                p[d] = centroid[d]
+                       + coeff * (simplex[worst][d] - centroid[d]);
+            }
+            return p;
+        };
+
+        const std::vector<double> reflected = affine(-1.0);
+        const double fr = f(reflected);
+
+        if (fr < fv[best]) {
+            // Try expansion.
+            const std::vector<double> expanded = affine(-2.0);
+            const double fe = f(expanded);
+            if (fe < fr) {
+                simplex[worst] = expanded;
+                fv[worst] = fe;
+            } else {
+                simplex[worst] = reflected;
+                fv[worst] = fr;
+            }
+        } else if (fr < fv[second_worst]) {
+            simplex[worst] = reflected;
+            fv[worst] = fr;
+        } else {
+            // Contraction (outside if reflection helped, else inside).
+            const double coeff = fr < fv[worst] ? -0.5 : 0.5;
+            const std::vector<double> contracted = affine(coeff);
+            const double fc = f(contracted);
+            if (fc < std::min(fr, fv[worst])) {
+                simplex[worst] = contracted;
+                fv[worst] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for (size_t i = 0; i <= n; ++i) {
+                    if (i == best)
+                        continue;
+                    for (size_t d = 0; d < n; ++d) {
+                        simplex[i][d] = simplex[best][d]
+                                        + 0.5 * (simplex[i][d]
+                                                 - simplex[best][d]);
+                    }
+                    fv[i] = f(simplex[i]);
+                }
+            }
+        }
+    }
+
+    sortSimplex();
+    OptResult out;
+    out.x = simplex[order[0]];
+    out.fval = fv[order[0]];
+    out.iterations = iter;
+    out.converged = out.fval <= opts.target || iter < opts.max_iters;
+    return out;
+}
+
+} // namespace qbasis

@@ -1,0 +1,42 @@
+#ifndef QBASIS_OPT_NELDER_MEAD_HPP
+#define QBASIS_OPT_NELDER_MEAD_HPP
+
+/**
+ * @file
+ * Derivative-free Nelder-Mead simplex minimizer.
+ *
+ * Used by the two-layer feasibility oracle (6-parameter invariant
+ * matching) and as a fallback in gate synthesis where gradients are
+ * not available.
+ */
+
+#include <functional>
+
+#include "opt/result.hpp"
+
+namespace qbasis {
+
+/** Options for nelderMead(). */
+struct NelderMeadOptions
+{
+    int max_iters = 600;      ///< Maximum simplex updates.
+    double init_step = 0.4;   ///< Initial simplex edge length.
+    double ftol = 1e-14;      ///< Function-spread convergence threshold.
+    double xtol = 1e-9;       ///< Simplex-diameter convergence threshold.
+    double target = -1e300;   ///< Early stop when f <= target.
+};
+
+/** Objective type: maps a parameter vector to a scalar. */
+using ScalarObjective =
+    std::function<double(const std::vector<double> &)>;
+
+/**
+ * Minimize `f` starting from `x0` with the Nelder-Mead method
+ * (standard reflection/expansion/contraction/shrink coefficients).
+ */
+OptResult nelderMead(const ScalarObjective &f, std::vector<double> x0,
+                     const NelderMeadOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_OPT_NELDER_MEAD_HPP

@@ -1,0 +1,24 @@
+#ifndef QBASIS_OPT_RESULT_HPP
+#define QBASIS_OPT_RESULT_HPP
+
+/**
+ * @file
+ * Common result type for local optimizers.
+ */
+
+#include <vector>
+
+namespace qbasis {
+
+/** Outcome of a local or multistart optimization. */
+struct OptResult
+{
+    std::vector<double> x;  ///< Best parameter vector found.
+    double fval = 0.0;      ///< Objective at x.
+    int iterations = 0;     ///< Iterations (or total across restarts).
+    bool converged = false; ///< Whether a tolerance criterion was met.
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_OPT_RESULT_HPP

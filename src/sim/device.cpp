@@ -1,0 +1,57 @@
+#include "sim/device.hpp"
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+GridDevice::GridDevice(const GridDeviceParams &params)
+    : params_(params),
+      coupling_(CouplingMap::grid(params.rows, params.cols))
+{
+    if (params.rows < 1 || params.cols < 1)
+        fatal("GridDevice needs positive dimensions");
+
+    Rng rng(params.seed);
+    freq_.resize(coupling_.numQubits());
+    for (int q = 0; q < coupling_.numQubits(); ++q) {
+        const double mean = isHighFrequency(q) ? params.f_high_ghz
+                                               : params.f_low_ghz;
+        freq_[q] = ghz(rng.normal(mean, params.rel_std * mean));
+    }
+}
+
+bool
+GridDevice::isHighFrequency(int q) const
+{
+    const int r = q / params_.cols;
+    const int c = q % params_.cols;
+    return (r + c) % 2 == 1;
+}
+
+PairDeviceParams
+GridDevice::edgeParams(int edge_id) const
+{
+    const auto &[lo, hi] = coupling_.edges().at(edge_id);
+    PairDeviceParams p;
+    p.qubit_a.omega = freq_[lo];
+    p.qubit_a.alpha = ghz(params_.alpha_q_ghz);
+    p.qubit_b.omega = freq_[hi];
+    p.qubit_b.alpha = ghz(params_.alpha_q_ghz);
+    p.coupler.omega = 0.0; // set by the bias search
+    p.coupler.alpha = ghz(params_.alpha_c_ghz);
+    p.g_ac = ghz(params_.g_qc_ghz);
+    p.g_bc = ghz(params_.g_qc_ghz);
+    p.g_ab = ghz(params_.g_qq_ghz);
+    p.levels_q = params_.levels_q;
+    p.levels_c = params_.levels_c;
+    return p;
+}
+
+double
+GridDevice::couplerOmegaMax() const
+{
+    return ghz(params_.coupler_max_ghz);
+}
+
+} // namespace qbasis

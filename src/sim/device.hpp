@@ -1,0 +1,83 @@
+#ifndef QBASIS_SIM_DEVICE_HPP
+#define QBASIS_SIM_DEVICE_HPP
+
+/**
+ * @file
+ * The paper's simulated device (Fig. 7): a rows x cols grid of
+ * fixed-frequency transmons in two frequency groups arranged as a
+ * checkerboard (every edge couples a low- and a high-frequency
+ * qubit), frequencies sampled from two normal distributions whose
+ * means differ by 2 GHz with 5% relative standard deviation.
+ */
+
+#include <cstdint>
+
+#include "circuit/coupling.hpp"
+#include "sim/hamiltonian.hpp"
+
+namespace qbasis {
+
+/** Parameters of the simulated grid device. */
+struct GridDeviceParams
+{
+    int rows = 10;
+    int cols = 10;
+    double f_low_ghz = 4.2;      ///< Low-group mean frequency.
+    double f_high_ghz = 6.2;     ///< High-group mean (2 GHz above).
+    double rel_std = 0.05;       ///< 5% relative standard deviation.
+    double alpha_q_ghz = -0.25;  ///< Transmon anharmonicity.
+    double alpha_c_ghz = 1.0;    ///< Coupler (positive) anharmonicity;
+                                 ///< large enough to keep the
+                                 ///< two-photon level away from |11>.
+    double coupler_max_ghz = 7.5;  ///< Zero-flux coupler frequency
+                                 ///< (sets a moderate flux slope at
+                                 ///< the bias point so strong drives
+                                 ///< do not sweep the coupler through
+                                 ///< the qubit resonances).
+    double g_qc_ghz = 0.20;      ///< Qubit-coupler coupling.
+    double g_qq_ghz = 0.009;     ///< Direct qubit-qubit coupling.
+    int levels_q = 3;            ///< Levels per transmon.
+    int levels_c = 3;            ///< Levels for the coupler.
+    uint64_t seed = 2022;        ///< Frequency sampling seed.
+};
+
+/** A sampled grid device instance. */
+class GridDevice
+{
+  public:
+    explicit GridDevice(const GridDeviceParams &params = {});
+
+    /** Device connectivity (edge ids index all per-edge tables). */
+    const CouplingMap &coupling() const { return coupling_; }
+
+    int numQubits() const { return coupling_.numQubits(); }
+    int rows() const { return params_.rows; }
+    int cols() const { return params_.cols; }
+
+    /** Sampled 0->1 frequency of a qubit (rad/ns). */
+    double qubitFrequency(int q) const { return freq_.at(q); }
+
+    /** Checkerboard color: true for the high-frequency group. */
+    bool isHighFrequency(int q) const;
+
+    /**
+     * Unit-cell parameters of an edge; qubit_a is the edge's
+     * lower-indexed physical qubit (matching the lo-first matrix
+     * orientation used by the transpiler).
+     */
+    PairDeviceParams edgeParams(int edge_id) const;
+
+    /** Zero-flux coupler frequency (rad/ns). */
+    double couplerOmegaMax() const;
+
+    const GridDeviceParams &params() const { return params_; }
+
+  private:
+    GridDeviceParams params_;
+    CouplingMap coupling_;
+    std::vector<double> freq_;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_SIM_DEVICE_HPP

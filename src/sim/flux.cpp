@@ -1,0 +1,45 @@
+#include "sim/flux.hpp"
+
+#include <cmath>
+
+#include "linalg/types.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+FluxCurve::FluxCurve(double omega_max_rad_ns)
+    : omega_max_(omega_max_rad_ns)
+{
+    if (omega_max_rad_ns <= 0.0)
+        fatal("FluxCurve requires a positive maximum frequency");
+}
+
+double
+FluxCurve::frequency(double phi) const
+{
+    return omega_max_ * std::sqrt(std::abs(std::cos(kPi * phi)));
+}
+
+double
+FluxCurve::fluxForFrequency(double omega_rad_ns) const
+{
+    if (omega_rad_ns <= 0.0 || omega_rad_ns > omega_max_)
+        fatal("requested coupler frequency %.3f rad/ns outside "
+              "(0, %.3f]", omega_rad_ns, omega_max_);
+    const double c = omega_rad_ns / omega_max_;
+    return std::acos(c * c) / kPi;
+}
+
+double
+FluxCurve::slope(double phi) const
+{
+    const double c = std::cos(kPi * phi);
+    const double s = std::sin(kPi * phi);
+    const double ac = std::abs(c);
+    if (ac < 1e-12)
+        return 0.0; // cusp; callers avoid biasing here
+    const double sign = c >= 0.0 ? 1.0 : -1.0;
+    return -omega_max_ * kPi * sign * s / (2.0 * std::sqrt(ac));
+}
+
+} // namespace qbasis

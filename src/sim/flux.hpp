@@ -1,0 +1,43 @@
+#ifndef QBASIS_SIM_FLUX_HPP
+#define QBASIS_SIM_FLUX_HPP
+
+/**
+ * @file
+ * Flux dependence of the tunable coupler frequency.
+ *
+ * omega_c(Phi) = omega_max sqrt(|cos(pi Phi)|), the standard
+ * flux-tunable-element curve (Phi in units of Phi0). Strong-drive
+ * nonstandard behaviour emerges physically from the curvature of
+ * this map: a sinusoidal flux drive produces a rectified DC shift
+ * and harmonics of the coupler frequency, which reintroduces
+ * transient ZZ during the pulse (paper Sections IV and VIII-B).
+ */
+
+namespace qbasis {
+
+/** Tunable-coupler flux curve. */
+class FluxCurve
+{
+  public:
+    /** Construct with the zero-flux (maximum) coupler frequency. */
+    explicit FluxCurve(double omega_max_rad_ns);
+
+    /** Coupler frequency at flux phi (units of Phi0). */
+    double frequency(double phi) const;
+
+    /** Flux in [0, 1/2) that gives the requested frequency. */
+    double fluxForFrequency(double omega_rad_ns) const;
+
+    /** d omega / d phi at the given flux. */
+    double slope(double phi) const;
+
+    /** Maximum (zero-flux) frequency. */
+    double omegaMax() const { return omega_max_; }
+
+  private:
+    double omega_max_;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_SIM_FLUX_HPP

@@ -1,0 +1,126 @@
+#include "sim/hamiltonian.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+PairHamiltonian::PairHamiltonian(const PairDeviceParams &params)
+    : params_(params)
+{
+    const int lq = params.levels_q;
+    const int lc = params.levels_c;
+    if (lq < 2 || lc < 2)
+        fatal("PairHamiltonian needs at least 2 levels per mode");
+    dim_ = lq * lq * lc;
+
+    coupler_occ_.resize(dim_);
+    for (int idx = 0; idx < dim_; ++idx) {
+        int na, nb, nc;
+        occupations(idx, na, nb, nc);
+        coupler_occ_[idx] = nc;
+    }
+
+    // Exchange terms: -g (x' y + x y'), matrix elements
+    // <..., nx+1, ny-1, ...| x' y |..., nx, ny, ...>
+    //   = sqrt((nx+1) ny).
+    auto addExchange = [this, lq, lc](double g, char mode_x,
+                                      char mode_y) {
+        if (g == 0.0)
+            return;
+        for (int idx = 0; idx < dim_; ++idx) {
+            int n[3];
+            occupations(idx, n[0], n[1], n[2]);
+            auto level = [&](char m) -> int & {
+                return n[m == 'a' ? 0 : (m == 'b' ? 1 : 2)];
+            };
+            auto cap = [&](char m) {
+                return m == 'c' ? lc : lq;
+            };
+            // Raise x, lower y.
+            int &nx = level(mode_x);
+            int &ny = level(mode_y);
+            if (nx + 1 >= cap(mode_x) + 0 || ny < 1)
+                continue;
+            if (nx + 1 > cap(mode_x) - 1)
+                continue;
+            const double val =
+                -g * std::sqrt((nx + 1.0) * ny);
+            nx += 1;
+            ny -= 1;
+            const int jdx = index(n[0], n[1], n[2]);
+            nx -= 1;
+            ny += 1;
+            CouplingEntry e;
+            e.row = std::min(idx, jdx);
+            e.col = std::max(idx, jdx);
+            e.value = val;
+            couplings_.push_back(e);
+        }
+    };
+    addExchange(params.g_ab, 'a', 'b');
+    addExchange(params.g_bc, 'b', 'c');
+    addExchange(params.g_ac, 'c', 'a');
+}
+
+int
+PairHamiltonian::index(int na, int nb, int nc) const
+{
+    const int lq = params_.levels_q;
+    const int lc = params_.levels_c;
+    return (na * lq + nb) * lc + nc;
+}
+
+void
+PairHamiltonian::occupations(int idx, int &na, int &nb, int &nc) const
+{
+    const int lq = params_.levels_q;
+    const int lc = params_.levels_c;
+    nc = idx % lc;
+    const int rest = idx / lc;
+    nb = rest % lq;
+    na = rest / lq;
+}
+
+std::vector<double>
+PairHamiltonian::bareEnergies(double omega_c) const
+{
+    std::vector<double> e(dim_);
+    for (int idx = 0; idx < dim_; ++idx) {
+        int na, nb, nc;
+        occupations(idx, na, nb, nc);
+        auto duffing = [](int n, double w, double a) {
+            return w * n + 0.5 * a * n * (n - 1);
+        };
+        e[idx] = duffing(na, params_.qubit_a.omega,
+                         params_.qubit_a.alpha)
+                 + duffing(nb, params_.qubit_b.omega,
+                           params_.qubit_b.alpha)
+                 + duffing(nc, omega_c, params_.coupler.alpha);
+    }
+    return e;
+}
+
+CMat
+PairHamiltonian::staticHamiltonian(double omega_c) const
+{
+    CMat h(dim_, dim_);
+    const std::vector<double> diag = bareEnergies(omega_c);
+    for (int i = 0; i < dim_; ++i)
+        h(i, i) = diag[i];
+    for (const CouplingEntry &e : couplings_) {
+        h(e.row, e.col) += e.value;
+        h(e.col, e.row) += e.value;
+    }
+    return h;
+}
+
+std::vector<int>
+PairHamiltonian::computationalIndices() const
+{
+    return {index(0, 0, 0), index(0, 1, 0), index(1, 0, 0),
+            index(1, 1, 0)};
+}
+
+} // namespace qbasis

@@ -1,0 +1,116 @@
+#ifndef QBASIS_SIM_HAMILTONIAN_HPP
+#define QBASIS_SIM_HAMILTONIAN_HPP
+
+/**
+ * @file
+ * The paper's Appendix A model: two fixed-frequency transmons coupled
+ * through a flux-tunable coupler,
+ *   H = sum_k (w_k n_k + a_k/2 n_k (n_k - 1))
+ *       - g_ab (a'b + ab') - g_bc (b'c + bc') - g_ca (c'a + ca'),
+ * with each element truncated to a configurable number of levels
+ * (default 3: the paper's strong-drive physics needs the coupler's
+ * second excited state).
+ *
+ * Frequencies are angular (rad/ns); 1 GHz = 2 pi * 1e0 rad/ns... i.e.
+ * omega[rad/ns] = 2 pi * f[GHz].
+ */
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace qbasis {
+
+/** One anharmonic (Duffing) mode. */
+struct ModeParams
+{
+    double omega = 0.0; ///< 0->1 transition frequency (rad/ns).
+    double alpha = 0.0; ///< Anharmonicity (rad/ns), negative for
+                        ///< transmons, positive for the coupler.
+};
+
+/** Full parameter set of one qubit-coupler-qubit unit cell. */
+struct PairDeviceParams
+{
+    ModeParams qubit_a;  ///< Lower-frequency transmon.
+    ModeParams qubit_b;  ///< Higher-frequency transmon.
+    ModeParams coupler;  ///< omega field = idle (DC-biased) value.
+    double g_ac = 0.0;   ///< Qubit-a to coupler coupling (rad/ns).
+    double g_bc = 0.0;   ///< Qubit-b to coupler coupling (rad/ns).
+    double g_ab = 0.0;   ///< Direct qubit-qubit coupling (rad/ns).
+    int levels_q = 3;    ///< Levels kept per transmon.
+    int levels_c = 3;    ///< Levels kept for the coupler.
+};
+
+/** Exchange-coupling matrix element (sparse off-diagonal entry). */
+struct CouplingEntry
+{
+    int row = 0;
+    int col = 0;          ///< row < col by construction.
+    double value = 0.0;   ///< -g sqrt((n+1)(m)) etc. (real).
+    double energy_gap = 0.0; ///< E_bare[row] - E_bare[col], set by
+                             ///< the propagator's interaction frame.
+};
+
+/** Dense + sparse views of the unit-cell Hamiltonian. */
+class PairHamiltonian
+{
+  public:
+    explicit PairHamiltonian(const PairDeviceParams &params);
+
+    /** Hilbert-space dimension (levels_q^2 * levels_c). */
+    int dim() const { return dim_; }
+
+    const PairDeviceParams &params() const { return params_; }
+
+    /** Flattened index of the bare state |na, nb, nc>. */
+    int index(int na, int nb, int nc) const;
+
+    /** Occupations of the flattened basis state. */
+    void occupations(int idx, int &na, int &nb, int &nc) const;
+
+    /** Coupler occupation of each basis state. */
+    const std::vector<double> &couplerOccupation() const
+    {
+        return coupler_occ_;
+    }
+
+    /**
+     * Bare (diagonal) energies with the coupler frequency overridden
+     * to `omega_c` (the DC bias point under study).
+     */
+    std::vector<double> bareEnergies(double omega_c) const;
+
+    /** Exchange-coupling entries (upper triangle, real values). */
+    const std::vector<CouplingEntry> &couplings() const
+    {
+        return couplings_;
+    }
+
+    /** Dense Hermitian Hamiltonian at the given coupler frequency. */
+    CMat staticHamiltonian(double omega_c) const;
+
+    /**
+     * The four computational bare-state indices in gate order
+     * |00>, |01>, |10>, |11> (qubit a is the most significant; the
+     * coupler stays in its ground state).
+     */
+    std::vector<int> computationalIndices() const;
+
+  private:
+    PairDeviceParams params_;
+    int dim_;
+    std::vector<CouplingEntry> couplings_;
+    std::vector<double> coupler_occ_;
+};
+
+/** Convenience: angular frequency from GHz. */
+inline double
+ghz(double f)
+{
+    return kTwoPi * f;
+}
+
+} // namespace qbasis
+
+#endif // QBASIS_SIM_HAMILTONIAN_HPP

@@ -1,0 +1,319 @@
+#include "sim/propagator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/polar.hpp"
+#include "util/logging.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/**
+ * Interaction-picture right-hand side evaluator with per-coupling
+ * phase rotors: k = -i H_I(t) psi for a panel of columns.
+ */
+class RhsEvaluator
+{
+  public:
+    RhsEvaluator(const std::vector<CouplingEntry> &couplings,
+                 const std::vector<double> &coupler_occ, int dim,
+                 int cols, double dt)
+        : couplings_(couplings), coupler_occ_(coupler_occ), dim_(dim),
+          cols_(cols)
+    {
+        phase_.resize(couplings.size());
+        half_step_.resize(couplings.size());
+        for (size_t e = 0; e < couplings.size(); ++e) {
+            phase_[e] = Complex(1.0, 0.0);
+            half_step_[e] = std::exp(
+                Complex(0.0, couplings[e].energy_gap * dt * 0.5));
+        }
+    }
+
+    /**
+     * Evaluate k = -i H_I(t) psi using the rotor bank at `substep`
+     * half-steps past the rotor base time (0, 1, or 2).
+     */
+    void
+    eval(const std::vector<Complex> &psi, int substep,
+         double drive_delta, std::vector<Complex> &out) const
+    {
+        std::fill(out.begin(), out.end(), Complex{});
+        for (size_t e = 0; e < couplings_.size(); ++e) {
+            Complex ph = phase_[e];
+            if (substep == 1)
+                ph *= half_step_[e];
+            else if (substep == 2)
+                ph *= half_step_[e] * half_step_[e];
+            const int i = couplings_[e].row;
+            const int j = couplings_[e].col;
+            const Complex vij = couplings_[e].value * ph;
+            const Complex vji = std::conj(vij);
+            for (int c = 0; c < cols_; ++c) {
+                out[i * cols_ + c] += vij * psi[j * cols_ + c];
+                out[j * cols_ + c] += vji * psi[i * cols_ + c];
+            }
+        }
+        if (drive_delta != 0.0) {
+            for (int i = 0; i < dim_; ++i) {
+                const double d = drive_delta * coupler_occ_[i];
+                if (d == 0.0)
+                    continue;
+                for (int c = 0; c < cols_; ++c)
+                    out[i * cols_ + c] += d * psi[i * cols_ + c];
+            }
+        }
+        // Multiply by -i.
+        for (auto &v : out)
+            v = Complex(v.imag(), -v.real());
+    }
+
+    /** Advance the rotor base time by one full step. */
+    void
+    advance()
+    {
+        for (size_t e = 0; e < phase_.size(); ++e)
+            phase_[e] *= half_step_[e] * half_step_[e];
+        if (++steps_ % 8192 == 0) {
+            for (auto &p : phase_)
+                p /= std::abs(p);
+        }
+    }
+
+  private:
+    const std::vector<CouplingEntry> &couplings_;
+    const std::vector<double> &coupler_occ_;
+    int dim_;
+    int cols_;
+    std::vector<Complex> phase_;
+    std::vector<Complex> half_step_;
+    mutable size_t steps_ = 0;
+};
+
+} // namespace
+
+PairSimulator::PairSimulator(const PairDeviceParams &params,
+                             double coupler_omega_max, SimOptions opts)
+    : ham_(params), flux_(coupler_omega_max), opts_(opts)
+{
+    const double w_lo =
+        std::min(params.qubit_a.omega, params.qubit_b.omega);
+    const double w_hi =
+        std::max(params.qubit_a.omega, params.qubit_b.omega);
+    // Keep the scan window above the coupler two-photon resonance
+    // 2 w_c + alpha_c = w_a + w_b, whose hybridization would fool
+    // the zero-ZZ search.
+    const double two_photon =
+        0.5 * (params.qubit_a.omega + params.qubit_b.omega
+               - params.coupler.alpha);
+    const double scan_lo =
+        std::max(w_lo, two_photon) + opts_.bias_margin;
+
+    const ZzBiasResult bias = findZeroZzBias(
+        ham_, scan_lo, w_hi - opts_.bias_margin);
+    omega_c0_ = bias.omega_c0;
+    zz_residual_ = bias.zz_residual;
+    phi_dc_ = flux_.fluxForFrequency(omega_c0_);
+
+    dressed_ = dressedComputationalStates(ham_, omega_c0_);
+    bare_energies_ = ham_.bareEnergies(omega_c0_);
+    couplings_ = ham_.couplings();
+    for (auto &e : couplings_) {
+        e.energy_gap =
+            bare_energies_[e.row] - bare_energies_[e.col];
+    }
+}
+
+double
+PairSimulator::dressedSplitting() const
+{
+    return std::abs(dressed_.energies[2] - dressed_.energies[1]);
+}
+
+double
+PairSimulator::driveDelta(double xi, double omega_d, double t) const
+{
+    const double phi = phi_dc_ + xi * std::sin(omega_d * t);
+    return flux_.frequency(phi) - omega_c0_;
+}
+
+double
+PairSimulator::swapTransferScore(double xi, double omega_d,
+                                 double duration_ns, double dt) const
+{
+    const int dim = ham_.dim();
+    const int cols = 1;
+    RhsEvaluator rhs(couplings_, ham_.couplerOccupation(), dim, cols,
+                     dt);
+
+    // Start in the dressed |01> state.
+    std::vector<Complex> psi(dim);
+    for (int i = 0; i < dim; ++i)
+        psi[i] = dressed_.vectors(i, 1);
+
+    // Dressed |10> bra, for the transfer projection.
+    std::vector<Complex> target(dim);
+    for (int i = 0; i < dim; ++i)
+        target[i] = dressed_.vectors(i, 2);
+
+    std::vector<Complex> k1(dim), k2(dim), k3(dim), k4(dim), tmp(dim);
+    const int steps =
+        static_cast<int>(std::ceil(duration_ns / dt));
+    double best = 0.0;
+    double t = 0.0;
+    for (int s = 0; s < steps; ++s) {
+        rhs.eval(psi, 0, driveDelta(xi, omega_d, t), k1);
+        for (int i = 0; i < dim; ++i)
+            tmp[i] = psi[i] + 0.5 * dt * k1[i];
+        rhs.eval(tmp, 1, driveDelta(xi, omega_d, t + 0.5 * dt), k2);
+        for (int i = 0; i < dim; ++i)
+            tmp[i] = psi[i] + 0.5 * dt * k2[i];
+        rhs.eval(tmp, 1, driveDelta(xi, omega_d, t + 0.5 * dt), k3);
+        for (int i = 0; i < dim; ++i)
+            tmp[i] = psi[i] + dt * k3[i];
+        rhs.eval(tmp, 2, driveDelta(xi, omega_d, t + dt), k4);
+        for (int i = 0; i < dim; ++i) {
+            psi[i] += dt / 6.0
+                      * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        rhs.advance();
+        t += dt;
+
+        // Projection onto the (bare-phase-rotating) target: the
+        // interaction picture keeps populations directly comparable.
+        Complex ov{};
+        for (int i = 0; i < dim; ++i)
+            ov += std::conj(target[i]) * psi[i];
+        best = std::max(best, std::norm(ov));
+    }
+    return best;
+}
+
+double
+PairSimulator::calibrateDriveFrequency(double xi) const
+{
+    const double center = dressedSplitting();
+    double best_w = center;
+    double best_score = -1.0;
+
+    // The transfer probe needs roughly half a swap period; the swap
+    // rate grows linearly with the amplitude, so strong drives can
+    // use much shorter probes.
+    const double probe_ns =
+        xi > 1e-6
+            ? std::min(opts_.probe_duration, 0.9 / xi + 20.0)
+            : opts_.probe_duration;
+
+    auto scan = [&](double lo, double hi, int points) {
+        for (int i = 0; i < points; ++i) {
+            const double w =
+                lo + (hi - lo) * i / std::max(points - 1, 1);
+            const double score =
+                swapTransferScore(xi, w, probe_ns, opts_.probe_dt);
+            if (score > best_score) {
+                best_score = score;
+                best_w = w;
+            }
+        }
+    };
+
+    scan(center - opts_.drive_scan_span,
+         center + opts_.drive_scan_span, opts_.drive_scan_points);
+    // Two refinement passes around the running winner; the final
+    // resolution must resolve detunings small compared to the
+    // effective coupling J to land full population transfer.
+    const double span2 =
+        2.0 * opts_.drive_scan_span / (opts_.drive_scan_points - 1);
+    scan(best_w - span2, best_w + span2, 9);
+    const double span3 = span2 / 4.0;
+    scan(best_w - span3, best_w + span3, 9);
+    return best_w;
+}
+
+Trajectory
+PairSimulator::simulateTrajectory(double xi, double omega_d,
+                                  double max_ns) const
+{
+    const int dim = ham_.dim();
+    const int cols = 4;
+    const double dt = opts_.dt;
+    RhsEvaluator rhs(couplings_, ham_.couplerOccupation(), dim, cols,
+                     dt);
+
+    // Panel initialized with the dressed computational columns.
+    std::vector<Complex> psi(dim * cols);
+    for (int i = 0; i < dim; ++i)
+        for (int c = 0; c < cols; ++c)
+            psi[i * cols + c] = dressed_.vectors(i, c);
+
+    std::vector<Complex> k1(psi.size()), k2(psi.size()),
+        k3(psi.size()), k4(psi.size()), tmp(psi.size());
+
+    Trajectory traj;
+
+    auto sampleGate = [&](double t) {
+        // G_kl = e^{i E~_k t} sum_i conj(V(i,k)) e^{-i E_i t} P(i,l).
+        Mat4 g;
+        for (int k = 0; k < 4; ++k) {
+            const Complex frame =
+                std::exp(Complex(0.0, dressed_.energies[k] * t));
+            for (int l = 0; l < 4; ++l) {
+                Complex s{};
+                for (int i = 0; i < dim; ++i) {
+                    const Complex lab =
+                        std::exp(Complex(0.0,
+                                         -bare_energies_[i] * t))
+                        * psi[i * cols + l];
+                    s += std::conj(dressed_.vectors(i, k)) * lab;
+                }
+                g(k, l) = frame * s;
+            }
+        }
+        double max_leak = 0.0;
+        for (int l = 0; l < 4; ++l) {
+            double col_norm = 0.0;
+            for (int k = 0; k < 4; ++k)
+                col_norm += std::norm(g(k, l));
+            max_leak = std::max(max_leak, 1.0 - col_norm);
+        }
+        TrajectoryPoint pt;
+        pt.duration = t;
+        pt.unitary = nearestUnitary4(g);
+        pt.coords = cartanCoords(pt.unitary);
+        pt.leakage = std::max(max_leak, 0.0);
+        traj.append(std::move(pt));
+    };
+
+    sampleGate(0.0);
+    const int steps = static_cast<int>(std::ceil(max_ns / dt));
+    double t = 0.0;
+    double next_sample = opts_.sample_dt;
+    for (int s = 0; s < steps; ++s) {
+        rhs.eval(psi, 0, driveDelta(xi, omega_d, t), k1);
+        for (size_t i = 0; i < psi.size(); ++i)
+            tmp[i] = psi[i] + 0.5 * dt * k1[i];
+        rhs.eval(tmp, 1, driveDelta(xi, omega_d, t + 0.5 * dt), k2);
+        for (size_t i = 0; i < psi.size(); ++i)
+            tmp[i] = psi[i] + 0.5 * dt * k2[i];
+        rhs.eval(tmp, 1, driveDelta(xi, omega_d, t + 0.5 * dt), k3);
+        for (size_t i = 0; i < psi.size(); ++i)
+            tmp[i] = psi[i] + dt * k3[i];
+        rhs.eval(tmp, 2, driveDelta(xi, omega_d, t + dt), k4);
+        for (size_t i = 0; i < psi.size(); ++i) {
+            psi[i] += dt / 6.0
+                      * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        rhs.advance();
+        t += dt;
+        if (t + 1e-9 >= next_sample) {
+            sampleGate(t);
+            next_sample += opts_.sample_dt;
+        }
+    }
+    return traj;
+}
+
+} // namespace qbasis

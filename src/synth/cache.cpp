@@ -1,0 +1,55 @@
+#include "synth/cache.hpp"
+
+#include <cmath>
+
+namespace qbasis {
+
+uint64_t
+DecompositionCache::hashGate(const Mat4 &m)
+{
+    // FNV-1a over quantized entries; quantization makes hashes stable
+    // against sub-1e-9 rounding differences.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](int64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= static_cast<uint64_t>(v >> (8 * byte)) & 0xffull;
+            h *= 1099511628211ull;
+        }
+    };
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            mix(static_cast<int64_t>(
+                std::llround(m(i, j).real() * 1e9)));
+            mix(static_cast<int64_t>(
+                std::llround(m(i, j).imag() * 1e9)));
+        }
+    }
+    return h;
+}
+
+const TwoQubitDecomposition &
+DecompositionCache::getOrSynthesize(int edge_id, const Mat4 &target,
+                                    const Mat4 &basis,
+                                    const SynthOptions &opts)
+{
+    const std::pair<int, uint64_t> key{edge_id, hashGate(target)};
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    auto inserted = cache_.emplace(key,
+                                   synthesizeGate(target, basis, opts));
+    return inserted.first->second;
+}
+
+void
+DecompositionCache::clear()
+{
+    cache_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace qbasis

@@ -1,0 +1,58 @@
+#ifndef QBASIS_SYNTH_CACHE_HPP
+#define QBASIS_SYNTH_CACHE_HPP
+
+/**
+ * @file
+ * Per-calibration-cycle decomposition cache (paper Section VII):
+ * decompositions of common target gates into each edge's basis gate
+ * are computed once and reused across every circuit compiled in the
+ * cycle.
+ */
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "synth/numerical.hpp"
+
+namespace qbasis {
+
+/** Cache of (edge, target-gate) -> decomposition. */
+class DecompositionCache
+{
+  public:
+    /**
+     * Return the cached decomposition of `target` into `basis` for
+     * the given edge, synthesizing and inserting it on first use.
+     */
+    const TwoQubitDecomposition &
+    getOrSynthesize(int edge_id, const Mat4 &target, const Mat4 &basis,
+                    const SynthOptions &opts = {});
+
+    /** Number of cache hits so far. */
+    uint64_t hits() const { return hits_; }
+
+    /** Number of synthesis calls (misses) so far. */
+    uint64_t misses() const { return misses_; }
+
+    /** Number of stored decompositions. */
+    size_t size() const { return cache_.size(); }
+
+    /** Drop all entries (start of a new calibration cycle). */
+    void clear();
+
+    /**
+     * Content hash of a gate matrix (entries quantized to 1e-9);
+     * gates must be bitwise-stable across calls to hit the cache.
+     */
+    static uint64_t hashGate(const Mat4 &m);
+
+  private:
+    std::map<std::pair<int, uint64_t>, TwoQubitDecomposition> cache_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_SYNTH_CACHE_HPP

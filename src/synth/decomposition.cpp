@@ -1,0 +1,39 @@
+#include "synth/decomposition.hpp"
+
+namespace qbasis {
+
+Mat4
+TwoQubitDecomposition::reconstruct() const
+{
+    if (locals.empty())
+        return Mat4::identity();
+    Mat4 v = locals[0].toMat4();
+    for (size_t i = 0; i < basis.size(); ++i)
+        v = locals[i + 1].toMat4() * basis[i] * v;
+    return v * phase;
+}
+
+double
+TwoQubitDecomposition::duration(double t_basis_ns, double t_1q_ns) const
+{
+    const double n = static_cast<double>(layers());
+    return n * t_basis_ns + (n + 1.0) * t_1q_ns;
+}
+
+bool
+TwoQubitDecomposition::wellFormed(double tol) const
+{
+    if (locals.size() != basis.size() + 1)
+        return false;
+    for (const auto &l : locals) {
+        if (!l.q1.isUnitary(tol) || !l.q0.isUnitary(tol))
+            return false;
+    }
+    for (const auto &b : basis) {
+        if (!b.isUnitary(tol))
+            return false;
+    }
+    return true;
+}
+
+} // namespace qbasis

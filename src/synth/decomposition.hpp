@@ -1,0 +1,60 @@
+#ifndef QBASIS_SYNTH_DECOMPOSITION_HPP
+#define QBASIS_SYNTH_DECOMPOSITION_HPP
+
+/**
+ * @file
+ * Representation of layered two-qubit gate decompositions
+ * (Fig. 3 of the paper): alternating local layers and 2Q basis
+ * gates,
+ *   T ~ phase * K_n B_n K_{n-1} ... B_1 K_0,
+ * where each K_j = k1_j (x) k0_j is a pair of single-qubit gates.
+ */
+
+#include <vector>
+
+#include "linalg/mat2.hpp"
+#include "linalg/mat4.hpp"
+
+namespace qbasis {
+
+/** A pair of single-qubit gates applied as one local layer. */
+struct LocalPair
+{
+    Mat2 q1; ///< Gate on the first (most significant) qubit.
+    Mat2 q0; ///< Gate on the second qubit.
+
+    /** The 4x4 operator q1 (x) q0. */
+    Mat4 toMat4() const { return Mat4::kron(q1, q0); }
+};
+
+/** A layered decomposition of a two-qubit gate. */
+struct TwoQubitDecomposition
+{
+    /** Local layers; size is layers() + 1. */
+    std::vector<LocalPair> locals;
+    /** 2Q basis gates between the locals; size is layers(). */
+    std::vector<Mat4> basis;
+    /** Global phase of the reconstruction. */
+    Complex phase{1.0, 0.0};
+    /** Trace infidelity of the reconstruction vs the target. */
+    double infidelity = 1.0;
+
+    /** Number of 2Q layers. */
+    int layers() const { return static_cast<int>(basis.size()); }
+
+    /** Rebuild the full 4x4 operator. */
+    Mat4 reconstruct() const;
+
+    /**
+     * Wall-clock duration under the paper's model:
+     * layers * t_basis + (layers + 1) * t_1q.
+     */
+    double duration(double t_basis_ns, double t_1q_ns) const;
+
+    /** Validate structural invariants (sizes, unitarity). */
+    bool wellFormed(double tol = 1e-8) const;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_SYNTH_DECOMPOSITION_HPP

@@ -1,0 +1,293 @@
+#include "synth/numerical.hpp"
+
+#include <cmath>
+
+#include "linalg/factor.hpp"
+#include "linalg/su2.hpp"
+#include "monodromy/depth.hpp"
+#include "opt/adam.hpp"
+#include "opt/lbfgs.hpp"
+#include "util/logging.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/**
+ * Trace-infidelity objective over the U3 angles of the local layers.
+ *
+ * Parameter layout: 6 angles per local layer
+ * (theta, phi, lambda for qubit 1, then for qubit 0), n+1 layers.
+ * The 2Q layer gates may differ per layer (heterogeneous sequences,
+ * e.g. a gate and its SWAP mirror).
+ */
+class SynthObjective
+{
+  public:
+    SynthObjective(const Mat4 &target, std::vector<Mat4> layers)
+        : target_dag_(target.dagger()), layers_(std::move(layers)),
+          n_(static_cast<int>(layers_.size()))
+    {
+    }
+
+    int paramCount() const { return 6 * (n_ + 1); }
+
+    /** V = K_n B_n ... B_1 K_0 for the given parameters. */
+    Mat4
+    build(const std::vector<double> &p) const
+    {
+        Mat4 v = localLayer(p, 0);
+        for (int j = 1; j <= n_; ++j)
+            v = localLayer(p, j) * (layers_[j - 1] * v);
+        return v;
+    }
+
+    double
+    value(const std::vector<double> &p) const
+    {
+        return infidelity(build(p));
+    }
+
+    /** Objective value and analytic gradient. */
+    double
+    valueAndGrad(const std::vector<double> &p,
+                 std::vector<double> &grad) const
+    {
+        // Forward pass with right partial products:
+        // right[j] = K_j B_j K_{j-1} ... K_0 (after applying K_j).
+        std::vector<Mat4> right(n_ + 1);
+        right[0] = localLayer(p, 0);
+        for (int j = 1; j <= n_; ++j) {
+            right[j] =
+                localLayer(p, j) * (layers_[j - 1] * right[j - 1]);
+        }
+        const Mat4 &v = right[n_];
+
+        Complex tr{};
+        for (int i = 0; i < 4; ++i)
+            for (int k = 0; k < 4; ++k)
+                tr += target_dag_(i, k) * v(k, i);
+        const double f = 1.0 - std::norm(tr) / 16.0;
+
+        // Backward pass: left[j] = K_n B ... B (up to, excluding K_j).
+        // G_j = (right-of-K_j) T^dag (left-of-K_j), so that
+        // dTr/dp = Tr(G_j dK_j/dp).
+        Mat4 left = Mat4::identity();
+        for (int j = n_; j >= 0; --j) {
+            // right-of-K_j = B K_{j-1} ... K_0 = right[j] with K_j
+            // stripped; easier: right_excl = (K_j)^-1 right[j], but
+            // we can use right[j-1] and the basis factor directly.
+            Mat4 right_excl;
+            if (j == 0)
+                right_excl = Mat4::identity();
+            else
+                right_excl = layers_[j - 1] * right[j - 1];
+
+            const Mat4 g = right_excl * target_dag_ * left;
+
+            // Gradient w.r.t. the six angles of layer j.
+            const double *a = &p[6 * j];
+            const Mat2 u1 = u3(a[0], a[1], a[2]);
+            const Mat2 u0 = u3(a[3], a[4], a[5]);
+            const Mat2 d1t = du3DTheta(a[0], a[1], a[2]);
+            const Mat2 d1p = du3DPhi(a[0], a[1], a[2]);
+            const Mat2 d1l = du3DLambda(a[0], a[1], a[2]);
+            const Mat2 d0t = du3DTheta(a[3], a[4], a[5]);
+            const Mat2 d0p = du3DPhi(a[3], a[4], a[5]);
+            const Mat2 d0l = du3DLambda(a[3], a[4], a[5]);
+
+            auto trace_with = [&g](const Mat2 &x1, const Mat2 &x0) {
+                // Tr(G (x1 kron x0)).
+                Complex s{};
+                for (int r1 = 0; r1 < 2; ++r1)
+                    for (int c1 = 0; c1 < 2; ++c1)
+                        for (int r0 = 0; r0 < 2; ++r0)
+                            for (int c0 = 0; c0 < 2; ++c0) {
+                                s += g(2 * c1 + c0, 2 * r1 + r0)
+                                     * x1(r1, c1) * x0(r0, c0);
+                            }
+                return s;
+            };
+
+            const Complex dtr[6] = {
+                trace_with(d1t, u0), trace_with(d1p, u0),
+                trace_with(d1l, u0), trace_with(u1, d0t),
+                trace_with(u1, d0p), trace_with(u1, d0l),
+            };
+            for (int k = 0; k < 6; ++k) {
+                grad[6 * j + k] =
+                    -2.0 * std::real(std::conj(tr) * dtr[k]) / 16.0;
+            }
+
+            // Extend the left product to include K_j (and the basis
+            // gate separating it from layer j-1).
+            left = left * localLayer(p, j);
+            if (j > 0)
+                left = left * layers_[j - 1];
+        }
+        return f;
+    }
+
+    double
+    infidelity(const Mat4 &v) const
+    {
+        Complex tr{};
+        for (int i = 0; i < 4; ++i)
+            for (int k = 0; k < 4; ++k)
+                tr += target_dag_(i, k) * v(k, i);
+        return 1.0 - std::norm(tr) / 16.0;
+    }
+
+    Mat4
+    localLayer(const std::vector<double> &p, int j) const
+    {
+        const double *a = &p[6 * j];
+        return Mat4::kron(u3(a[0], a[1], a[2]), u3(a[3], a[4], a[5]));
+    }
+
+  private:
+    Mat4 target_dag_;
+    std::vector<Mat4> layers_;
+    int n_;
+};
+
+TwoQubitDecomposition
+assemble(const Mat4 &target, const std::vector<Mat4> &basis_layers,
+         const std::vector<double> &p, double infid)
+{
+    const int layers = static_cast<int>(basis_layers.size());
+    TwoQubitDecomposition d;
+    d.infidelity = infid;
+    d.basis = basis_layers;
+    d.locals.resize(layers + 1);
+    for (int j = 0; j <= layers; ++j) {
+        const double *a = &p[6 * j];
+        d.locals[j].q1 = u3(a[0], a[1], a[2]);
+        d.locals[j].q0 = u3(a[3], a[4], a[5]);
+    }
+    // Phase aligning the reconstruction with the target.
+    const Mat4 v = d.reconstruct();
+    Complex overlap{};
+    for (int i = 0; i < 4; ++i)
+        for (int k = 0; k < 4; ++k)
+            overlap += std::conj(v(i, k)) * target(i, k);
+    const double mag = std::abs(overlap);
+    d.phase = mag > 1e-300 ? overlap / mag : Complex(1.0);
+    return d;
+}
+
+/** Zero-layer case: the target must be (approximately) local. */
+TwoQubitDecomposition
+synthesizeLocal(const Mat4 &target)
+{
+    const TensorFactor f = factorTensorProduct(target);
+    TwoQubitDecomposition d;
+    d.locals.resize(1);
+    d.locals[0].q1 = f.a;
+    d.locals[0].q0 = f.b;
+    d.phase = f.phase;
+    d.infidelity = traceInfidelity(d.reconstruct(), target);
+    return d;
+}
+
+} // namespace
+
+TwoQubitDecomposition
+synthesizeGateSequence(const Mat4 &target,
+                       const std::vector<Mat4> &layers,
+                       const SynthOptions &opts)
+{
+    if (layers.empty())
+        return synthesizeLocal(target);
+
+    const SynthObjective obj(target, layers);
+    const int dim = obj.paramCount();
+
+    Rng rng(opts.seed + layers.size() * 7919);
+
+    TwoQubitDecomposition best;
+    best.infidelity = 1.0;
+    std::vector<double> best_p;
+
+    for (int r = 0; r < opts.restarts; ++r) {
+        std::vector<double> x0(dim);
+        for (double &v : x0)
+            v = rng.uniform(-kPi, kPi);
+
+        const auto grad_obj = [&obj](const std::vector<double> &x,
+                                     std::vector<double> &g) {
+            return obj.valueAndGrad(x, g);
+        };
+
+        // Coarse global descent with Adam (robust against the many
+        // saddle points), then a superlinear L-BFGS endgame (Adam's
+        // fixed-lr bounce floor sits around lr^2 and cannot certify
+        // the ~1e-12 infidelities expected at feasible depths).
+        AdamOptions adam;
+        adam.max_iters = opts.adam_iters;
+        adam.lr = 0.1;
+        adam.target = opts.target_infidelity * 0.1;
+        OptResult ares = adamMinimize(grad_obj, std::move(x0), adam);
+
+        LbfgsOptions lbfgs;
+        lbfgs.max_iters = opts.polish_iters;
+        lbfgs.target = adam.target;
+        const OptResult pres = lbfgsMinimize(grad_obj, ares.x, lbfgs);
+
+        const std::vector<double> &px =
+            pres.fval < ares.fval ? pres.x : ares.x;
+        const double pf = std::min(pres.fval, ares.fval);
+        if (pf < best.infidelity) {
+            best_p = px;
+            best.infidelity = pf;
+        }
+        if (best.infidelity <= opts.target_infidelity)
+            break;
+    }
+
+    if (best_p.empty())
+        panic("synthesis produced no candidate parameters");
+    return assemble(target, layers, best_p, best.infidelity);
+}
+
+TwoQubitDecomposition
+synthesizeGateFixedDepth(const Mat4 &target, const Mat4 &basis,
+                         int layers, const SynthOptions &opts)
+{
+    if (layers < 0)
+        panic("synthesizeGateFixedDepth: negative layer count");
+    return synthesizeGateSequence(
+        target, std::vector<Mat4>(layers, basis), opts);
+}
+
+TwoQubitDecomposition
+synthesizeGate(const Mat4 &target, const Mat4 &basis,
+               const SynthOptions &opts)
+{
+    int start = 1;
+    if (opts.use_depth_prediction) {
+        start = predictDepth(target, basis, opts.max_layers,
+                             opts.oracle);
+        if (start == 0)
+            return synthesizeLocal(target);
+        if (start > opts.max_layers)
+            start = opts.max_layers; // best effort at the cap
+    }
+
+    TwoQubitDecomposition best;
+    best.infidelity = 1.0;
+    for (int n = start; n <= opts.max_layers; ++n) {
+        TwoQubitDecomposition d =
+            synthesizeGateFixedDepth(target, basis, n, opts);
+        if (d.infidelity < best.infidelity)
+            best = std::move(d);
+        if (best.infidelity <= opts.target_infidelity)
+            return best;
+    }
+    warn("synthesizeGate: target not reached (best infidelity %.3e "
+         "at %d layers)", best.infidelity, best.layers());
+    return best;
+}
+
+} // namespace qbasis

@@ -1,0 +1,67 @@
+#ifndef QBASIS_SYNTH_NUMERICAL_HPP
+#define QBASIS_SYNTH_NUMERICAL_HPP
+
+/**
+ * @file
+ * NuOp-style numerical gate synthesis (paper Section VII).
+ *
+ * Finds the local (1Q) layers that realize a target 2Q gate from a
+ * fixed number of basis-gate applications by minimizing the trace
+ * infidelity 1 - |Tr(T^dag V)|^2/16 with analytic gradients (Adam)
+ * plus a Nelder-Mead polish. Following the paper's key optimization,
+ * the layer count starts at the analytically predicted feasible
+ * depth instead of 1, which both speeds up synthesis and guarantees
+ * depth-optimal results.
+ */
+
+#include "monodromy/oracle.hpp"
+#include "synth/decomposition.hpp"
+
+namespace qbasis {
+
+/** Options for synthesizeGate(). */
+struct SynthOptions
+{
+    int max_layers = 4;              ///< Depth search upper bound.
+    double target_infidelity = 1e-9; ///< Acceptable decomposition error.
+    int restarts = 6;                ///< Random restarts per depth.
+    int adam_iters = 700;            ///< Gradient steps per restart.
+    int polish_iters = 250;          ///< Nelder-Mead polish steps.
+    bool use_depth_prediction = true; ///< Start at the analytic depth.
+    uint64_t seed = 0x5399ull;       ///< Deterministic search seed.
+    OracleOptions oracle;            ///< Oracle settings for depth.
+};
+
+/**
+ * Synthesize `target` from layers of `basis` with interleaved 1Q
+ * gates.
+ *
+ * The returned decomposition satisfies
+ * infidelity <= opts.target_infidelity when synthesis succeeded;
+ * otherwise the best effort at max_layers is returned (check the
+ * infidelity field).
+ */
+TwoQubitDecomposition synthesizeGate(const Mat4 &target,
+                                     const Mat4 &basis,
+                                     const SynthOptions &opts = {});
+
+/**
+ * Synthesize with a fixed layer count (no depth search). Exposed for
+ * ablation studies of the depth-prediction speedup.
+ */
+TwoQubitDecomposition synthesizeGateFixedDepth(
+    const Mat4 &target, const Mat4 &basis, int layers,
+    const SynthOptions &opts = {});
+
+/**
+ * Synthesize with an explicit (possibly heterogeneous) sequence of
+ * 2Q layer gates -- e.g. the paper's Fig. 3(b) two-layer SWAP from a
+ * gate and its Appendix-B mirror: layers = {B, mirror(B)}.
+ */
+TwoQubitDecomposition synthesizeGateSequence(
+    const Mat4 &target, const std::vector<Mat4> &layers,
+    const SynthOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_SYNTH_NUMERICAL_HPP

@@ -1,0 +1,38 @@
+#include "synth/textbook.hpp"
+
+#include "linalg/su2.hpp"
+#include "weyl/gates.hpp"
+
+namespace qbasis {
+
+TwoQubitDecomposition
+swapFromThreeCnots()
+{
+    // SWAP = CNOT(a,b) CNOT(b,a) CNOT(a,b) and
+    // CNOT(b,a) = (H (x) H) CNOT(a,b) (H (x) H).
+    TwoQubitDecomposition d;
+    d.basis.assign(3, cnotGate());
+    d.locals.resize(4);
+    d.locals[0] = {Mat2::identity(), Mat2::identity()};
+    d.locals[1] = {hadamard(), hadamard()};
+    d.locals[2] = {hadamard(), hadamard()};
+    d.locals[3] = {Mat2::identity(), Mat2::identity()};
+    d.phase = Complex(1.0);
+    d.infidelity = traceInfidelity(d.reconstruct(), swapGate());
+    return d;
+}
+
+TwoQubitDecomposition
+cnotFromCz()
+{
+    TwoQubitDecomposition d;
+    d.basis.assign(1, czGate());
+    d.locals.resize(2);
+    d.locals[0] = {Mat2::identity(), hadamard()};
+    d.locals[1] = {Mat2::identity(), hadamard()};
+    d.phase = Complex(1.0);
+    d.infidelity = traceInfidelity(d.reconstruct(), cnotGate());
+    return d;
+}
+
+} // namespace qbasis

@@ -1,0 +1,23 @@
+#ifndef QBASIS_SYNTH_TEXTBOOK_HPP
+#define QBASIS_SYNTH_TEXTBOOK_HPP
+
+/**
+ * @file
+ * Exact textbook decompositions used as references and fast paths:
+ * the 3-CNOT SWAP of the paper's Fig. 3(c) and the CZ-to-CNOT local
+ * conversion.
+ */
+
+#include "synth/decomposition.hpp"
+
+namespace qbasis {
+
+/** SWAP = CNOT (H(x)H) CNOT (H(x)H) CNOT, exactly (Fig. 3(c)). */
+TwoQubitDecomposition swapFromThreeCnots();
+
+/** CNOT = (I(x)H) CZ (I(x)H), exactly. */
+TwoQubitDecomposition cnotFromCz();
+
+} // namespace qbasis
+
+#endif // QBASIS_SYNTH_TEXTBOOK_HPP

@@ -1,0 +1,110 @@
+#include "transpile/basis_translate.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "weyl/gates.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/** Conjugate a 4x4 gate by SWAP (reverse the qubit roles). */
+Mat4
+swapConjugate(const Mat4 &m)
+{
+    const Mat4 s = swapGate();
+    return s * m * s;
+}
+
+} // namespace
+
+Circuit
+translateToEdgeBases(const Circuit &physical, const CouplingMap &cm,
+                     const std::vector<EdgeBasis> &bases,
+                     DecompositionCache &cache,
+                     const SynthOptions &synth_opts,
+                     BasisTranslationStats *stats)
+{
+    if (bases.size() != cm.edges().size())
+        fatal("edge basis table size %zu != edge count %zu",
+              bases.size(), cm.edges().size());
+
+    Circuit out(physical.numQubits());
+    BasisTranslationStats local_stats;
+
+    for (const Gate &g : physical.gates()) {
+        if (!g.isTwoQubit()) {
+            out.append(g);
+            continue;
+        }
+        const int qa = g.qubits[0];
+        const int qb = g.qubits[1];
+        const int eid = cm.edgeId(qa, qb);
+        if (eid < 0)
+            fatal("translate: 2Q gate '%s' on uncoupled pair "
+                  "(%d, %d); route the circuit first",
+                  g.name().c_str(), qa, qb);
+
+        // Orient the target with the edge's lo qubit as the most
+        // significant slot so cached decompositions are shared
+        // between both gate orientations.
+        const auto [lo, hi] = cm.edges()[eid];
+        Mat4 target = g.matrix4();
+        if (qa != lo)
+            target = swapConjugate(target);
+
+        const TwoQubitDecomposition &dec = cache.getOrSynthesize(
+            eid, target, bases[eid].gate, synth_opts);
+        if (dec.infidelity > 1e-6) {
+            warn("translate: decomposition infidelity %.2e on edge "
+                 "%d for gate '%s'", dec.infidelity, eid,
+                 g.name().c_str());
+        }
+
+        // Emit K_0, then (B, K_j) pairs; locals[j].q1 acts on `lo`.
+        out.unitary1q(lo, dec.locals[0].q1, "u");
+        out.unitary1q(hi, dec.locals[0].q0, "u");
+        for (int layer = 0; layer < dec.layers(); ++layer) {
+            out.unitary2q(lo, hi, dec.basis[layer],
+                          bases[eid].label.empty()
+                              ? "basis"
+                              : bases[eid].label);
+            out.unitary1q(lo, dec.locals[layer + 1].q1, "u");
+            out.unitary1q(hi, dec.locals[layer + 1].q0, "u");
+        }
+
+        ++local_stats.translated_2q;
+        local_stats.total_layers += dec.layers();
+        local_stats.max_infidelity =
+            std::max(local_stats.max_infidelity, dec.infidelity);
+    }
+
+    if (stats)
+        *stats = local_stats;
+    return out;
+}
+
+DurationModel
+edgeDurationModel(const CouplingMap &cm,
+                  const std::vector<EdgeBasis> &bases, double t_1q_ns)
+{
+    if (bases.size() != cm.edges().size())
+        fatal("edge basis table size %zu != edge count %zu",
+              bases.size(), cm.edges().size());
+    // Copy the durations; the model may outlive the basis table.
+    std::vector<double> durations(bases.size());
+    for (size_t i = 0; i < bases.size(); ++i)
+        durations[i] = bases[i].duration_ns;
+    return [&cm, durations, t_1q_ns](const Gate &g) {
+        if (!g.isTwoQubit())
+            return t_1q_ns;
+        const int eid = cm.edgeId(g.qubits[0], g.qubits[1]);
+        if (eid < 0)
+            fatal("duration model: 2Q gate on uncoupled pair "
+                  "(%d, %d)", g.qubits[0], g.qubits[1]);
+        return durations[static_cast<size_t>(eid)];
+    };
+}
+
+} // namespace qbasis

@@ -1,0 +1,65 @@
+#ifndef QBASIS_TRANSPILE_BASIS_TRANSLATE_HPP
+#define QBASIS_TRANSPILE_BASIS_TRANSLATE_HPP
+
+/**
+ * @file
+ * Basis-translation pass: rewrite every 2Q gate of a routed physical
+ * circuit into the per-edge 2Q basis gate plus local gates, using
+ * the numerical synthesis engine with per-calibration-cycle caching
+ * (paper Section VII).
+ */
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/schedule.hpp"
+#include "synth/cache.hpp"
+#include "circuit/coupling.hpp"
+
+namespace qbasis {
+
+/** Basis gate calibrated on one device edge. */
+struct EdgeBasis
+{
+    Mat4 gate;               ///< Unitary, oriented lo-qubit-first.
+    double duration_ns = 0;  ///< Calibrated pulse duration.
+    std::string label;       ///< Display label (e.g. "xy40").
+};
+
+/** Statistics of one translation pass. */
+struct BasisTranslationStats
+{
+    size_t translated_2q = 0;       ///< 2Q gates rewritten.
+    size_t total_layers = 0;        ///< Basis applications emitted.
+    double max_infidelity = 0.0;    ///< Worst decomposition error.
+};
+
+/**
+ * Rewrite `physical` so every 2Q gate becomes applications of the
+ * corresponding edge's basis gate plus 1Q gates.
+ *
+ * All 2Q gates must act on coupled pairs (i.e. the circuit is
+ * routed). Basis-gate applications are labeled "basis".
+ */
+Circuit translateToEdgeBases(const Circuit &physical,
+                             const CouplingMap &cm,
+                             const std::vector<EdgeBasis> &bases,
+                             DecompositionCache &cache,
+                             const SynthOptions &synth_opts,
+                             BasisTranslationStats *stats = nullptr);
+
+/**
+ * Duration model for translated circuits: 1Q gates take t_1q_ns,
+ * 2Q gates take their edge's calibrated basis duration.
+ *
+ * The model copies the durations but keeps a reference to `cm`; the
+ * coupling map must outlive the returned callable.
+ */
+DurationModel edgeDurationModel(const CouplingMap &cm,
+                                const std::vector<EdgeBasis> &bases,
+                                double t_1q_ns);
+
+} // namespace qbasis
+
+#endif // QBASIS_TRANSPILE_BASIS_TRANSLATE_HPP

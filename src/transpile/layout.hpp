@@ -1,0 +1,34 @@
+#ifndef QBASIS_TRANSPILE_LAYOUT_HPP
+#define QBASIS_TRANSPILE_LAYOUT_HPP
+
+/**
+ * @file
+ * Initial qubit placement: trivial layout and SABRE layout (the
+ * reverse-traversal refinement of Li et al. that the paper uses via
+ * Qiskit's "SABRE" layout method).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/coupling.hpp"
+#include "transpile/routing.hpp"
+
+namespace qbasis {
+
+/** Identity layout: logical i -> physical i. */
+std::vector<int> trivialLayout(int num_logical);
+
+/**
+ * SABRE layout: alternate forward/backward routing passes, feeding
+ * each pass's final layout into the next, and keep the initial
+ * layout whose forward pass inserts the fewest SWAPs.
+ */
+std::vector<int> sabreLayout(const Circuit &logical,
+                             const CouplingMap &cm, int iterations = 3,
+                             const SabreOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_TRANSPILE_LAYOUT_HPP

@@ -1,0 +1,50 @@
+#include "transpile/merge_1q.hpp"
+
+#include <cmath>
+
+namespace qbasis {
+
+namespace {
+
+bool
+isIdentityUpToPhase(const Mat2 &u, double tol)
+{
+    return std::abs(u.trace()) >= 2.0 - tol;
+}
+
+} // namespace
+
+Circuit
+mergeSingleQubitRuns(const Circuit &c, double identity_tol)
+{
+    const int n = c.numQubits();
+    Circuit out(n);
+    std::vector<Mat2> pending(n, Mat2::identity());
+    std::vector<bool> has_pending(n, false);
+
+    auto flush = [&](int q) {
+        if (!has_pending[q])
+            return;
+        if (!isIdentityUpToPhase(pending[q], identity_tol))
+            out.unitary1q(q, pending[q], "u");
+        pending[q] = Mat2::identity();
+        has_pending[q] = false;
+    };
+
+    for (const Gate &g : c.gates()) {
+        if (!g.isTwoQubit()) {
+            const int q = g.qubits[0];
+            pending[q] = g.matrix2() * pending[q];
+            has_pending[q] = true;
+        } else {
+            flush(g.qubits[0]);
+            flush(g.qubits[1]);
+            out.append(g);
+        }
+    }
+    for (int q = 0; q < n; ++q)
+        flush(q);
+    return out;
+}
+
+} // namespace qbasis

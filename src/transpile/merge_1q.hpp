@@ -1,0 +1,25 @@
+#ifndef QBASIS_TRANSPILE_MERGE_1Q_HPP
+#define QBASIS_TRANSPILE_MERGE_1Q_HPP
+
+/**
+ * @file
+ * Single-qubit gate merging: adjacent 1Q gates on one qubit collapse
+ * into one U3-equivalent gate (and vanish when the product is the
+ * identity up to phase). This realizes the paper's duration model in
+ * which each local layer costs one 20 ns single-qubit gate slot.
+ */
+
+#include "circuit/circuit.hpp"
+
+namespace qbasis {
+
+/**
+ * Merge runs of adjacent 1Q gates. Products within `identity_tol`
+ * of the identity (up to global phase) are dropped entirely.
+ */
+Circuit mergeSingleQubitRuns(const Circuit &c,
+                             double identity_tol = 1e-10);
+
+} // namespace qbasis
+
+#endif // QBASIS_TRANSPILE_MERGE_1Q_HPP

@@ -1,0 +1,30 @@
+#include "transpile/pipeline.hpp"
+
+#include "transpile/merge_1q.hpp"
+
+namespace qbasis {
+
+TranspileResult
+transpileCircuit(const Circuit &logical, const CouplingMap &cm,
+                 const std::vector<EdgeBasis> &bases,
+                 DecompositionCache &cache, const TranspileOptions &opts)
+{
+    TranspileResult result;
+
+    const std::vector<int> layout =
+        sabreLayout(logical, cm, opts.layout_iterations, opts.sabre);
+    RoutedCircuit routed = sabreRoute(logical, cm, layout, opts.sabre);
+
+    result.initial_layout = routed.initial_layout;
+    result.final_layout = routed.final_layout;
+    result.swaps_inserted = routed.swaps_inserted;
+
+    const Circuit merged = mergeSingleQubitRuns(routed.circuit);
+    const Circuit translated =
+        translateToEdgeBases(merged, cm, bases, cache, opts.synth,
+                             &result.translation);
+    result.physical = mergeSingleQubitRuns(translated);
+    return result;
+}
+
+} // namespace qbasis

@@ -1,0 +1,55 @@
+#ifndef QBASIS_TRANSPILE_PIPELINE_HPP
+#define QBASIS_TRANSPILE_PIPELINE_HPP
+
+/**
+ * @file
+ * End-to-end transpilation pipeline reproducing the paper's flow
+ * (Section VIII-C): SABRE layout -> SABRE routing -> 1Q merging ->
+ * per-edge basis translation -> final 1Q merging.
+ */
+
+#include "synth/cache.hpp"
+#include "transpile/basis_translate.hpp"
+#include "transpile/layout.hpp"
+#include "transpile/routing.hpp"
+
+namespace qbasis {
+
+/** Options for transpileCircuit(). */
+struct TranspileOptions
+{
+    SabreOptions sabre;      ///< Routing heuristic tunables.
+    SynthOptions synth;      ///< Gate-synthesis settings.
+    int layout_iterations = 3; ///< SABRE layout refinement passes.
+};
+
+/** Result of the full pipeline. */
+struct TranspileResult
+{
+    Circuit physical;        ///< Final circuit on device qubits.
+    std::vector<int> initial_layout; ///< logical -> physical.
+    std::vector<int> final_layout;   ///< logical -> physical at end.
+    size_t swaps_inserted = 0;       ///< Routing SWAP count.
+    BasisTranslationStats translation; ///< Synthesis statistics.
+
+    TranspileResult() : physical(1) {}
+};
+
+/**
+ * Compile a logical circuit to a device with per-edge basis gates.
+ *
+ * @param logical  input circuit on logical qubits.
+ * @param cm       device coupling graph.
+ * @param bases    per-edge basis gates (indexed by edge id).
+ * @param cache    decomposition cache shared across circuits in one
+ *                 calibration cycle.
+ */
+TranspileResult transpileCircuit(const Circuit &logical,
+                                 const CouplingMap &cm,
+                                 const std::vector<EdgeBasis> &bases,
+                                 DecompositionCache &cache,
+                                 const TranspileOptions &opts = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_TRANSPILE_PIPELINE_HPP

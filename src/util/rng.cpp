@@ -1,0 +1,117 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::uniformInt requires n > 0");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (~uint64_t{0} - n + 1) % n;
+    for (;;) {
+        const uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+double
+Rng::normal()
+{
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(two_pi * u2);
+    has_spare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+void
+Rng::shuffle(std::vector<std::size_t> &v)
+{
+    for (size_t i = v.size(); i > 1; --i) {
+        const size_t j = static_cast<size_t>(uniformInt(i));
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+} // namespace qbasis

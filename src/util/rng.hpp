@@ -1,0 +1,60 @@
+#ifndef QBASIS_UTIL_RNG_HPP
+#define QBASIS_UTIL_RNG_HPP
+
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components of qbasis (device sampling, optimizer
+ * restarts, Monte-Carlo volume estimates, tomography shot noise) draw
+ * from explicitly seeded Rng instances so that every experiment is
+ * exactly reproducible. The generator is xoshiro256** seeded through
+ * splitmix64.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qbasis {
+
+/** Small, fast, seedable random number generator (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal deviate (Box–Muller, cached spare). */
+    double normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Fork an independent stream (useful for parallel substreams). */
+    Rng split();
+
+    /** Fisher–Yates shuffle of an index vector. */
+    void shuffle(std::vector<std::size_t> &v);
+
+  private:
+    uint64_t s_[4];
+    bool has_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_UTIL_RNG_HPP

@@ -1,0 +1,59 @@
+#ifndef QBASIS_UTIL_STATS_HPP
+#define QBASIS_UTIL_STATS_HPP
+
+/**
+ * @file
+ * Small summary-statistics helpers used by benches and reports.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace qbasis {
+
+/** Running mean/min/max/stddev accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample standard deviation (0 for n < 2). */
+    double stddev() const;
+
+    /** Smallest sample (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Mean of a vector (0 when empty). */
+double mean(const std::vector<double> &v);
+
+/** Unbiased standard deviation of a vector (0 for n < 2). */
+double stddev(const std::vector<double> &v);
+
+/** Median (by copy-and-sort; 0 when empty). */
+double median(std::vector<double> v);
+
+} // namespace qbasis
+
+#endif // QBASIS_UTIL_STATS_HPP

@@ -1,0 +1,115 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+const char *const TextTable::kSeparator = "\x01--sep--";
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        panic("TextTable row arity %zu != header arity %zu",
+              row.size(), headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparator});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            continue;
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        std::string s = "+";
+        for (size_t w : widths)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            s += " " + cells[c]
+                 + std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        return s + "\n";
+    };
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    out << rule() << line(headers_) << rule();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparator)
+            out << rule();
+        else
+            out << line(row);
+    }
+    out << rule();
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+fmtFixed(double x, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, x);
+    return buf;
+}
+
+std::string
+fmtPercent(double frac, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g%%", precision, frac * 100.0);
+    return buf;
+}
+
+void
+writeCsv(const std::string &path,
+         const std::vector<std::string> &header,
+         const std::vector<std::vector<double>> &rows)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+    for (size_t i = 0; i < header.size(); ++i)
+        out << header[i] << (i + 1 < header.size() ? "," : "\n");
+    out.precision(12);
+    for (const auto &row : rows) {
+        for (size_t i = 0; i < row.size(); ++i)
+            out << row[i] << (i + 1 < row.size() ? "," : "\n");
+    }
+}
+
+} // namespace qbasis

@@ -1,0 +1,59 @@
+#ifndef QBASIS_UTIL_TABLE_HPP
+#define QBASIS_UTIL_TABLE_HPP
+
+/**
+ * @file
+ * Plain-text table rendering for the paper-style bench reports.
+ */
+
+#include <string>
+#include <vector>
+
+namespace qbasis {
+
+/** Column-aligned text table with an optional title. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set a title printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    // A row with exactly one element equal to kSeparator renders as a
+    // horizontal rule.
+    std::vector<std::vector<std::string>> rows_;
+
+    static const char *const kSeparator;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string fmtFixed(double x, int precision);
+
+/** Format a fraction as a percentage string, e.g. 0.123 -> "12.3%". */
+std::string fmtPercent(double frac, int precision = 3);
+
+/** Write rows of doubles as CSV (with header) to the given path. */
+void writeCsv(const std::string &path,
+              const std::vector<std::string> &header,
+              const std::vector<std::vector<double>> &rows);
+
+} // namespace qbasis
+
+#endif // QBASIS_UTIL_TABLE_HPP

@@ -1,0 +1,112 @@
+#include "weyl/cartan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+#include "weyl/kak.hpp"
+
+namespace qbasis {
+
+double
+CartanCoords::distance(const CartanCoords &o) const
+{
+    const double dx = tx - o.tx;
+    const double dy = ty - o.ty;
+    const double dz = tz - o.tz;
+    return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+std::string
+CartanCoords::str(int precision) const
+{
+    return strformat("(%.*f, %.*f, %.*f)", precision, tx, precision, ty,
+                     precision, tz);
+}
+
+namespace coords {
+
+CartanCoords identity0() { return {0.0, 0.0, 0.0}; }
+CartanCoords identity1() { return {1.0, 0.0, 0.0}; }
+CartanCoords cnot() { return {0.5, 0.0, 0.0}; }
+CartanCoords iswap() { return {0.5, 0.5, 0.0}; }
+CartanCoords swap() { return {0.5, 0.5, 0.5}; }
+CartanCoords sqrtIswap() { return {0.25, 0.25, 0.0}; }
+CartanCoords sqrtIswapMirror() { return {0.75, 0.25, 0.0}; }
+CartanCoords sqrtSwap() { return {0.25, 0.25, 0.25}; }
+CartanCoords sqrtSwapDag() { return {0.75, 0.25, 0.25}; }
+CartanCoords bGate() { return {0.5, 0.25, 0.0}; }
+
+} // namespace coords
+
+CartanCoords
+canonicalize(const CartanCoords &t, double eps)
+{
+    // Reduce each coordinate mod 1 into [0, 1), snapping values that
+    // round up to 1 back to 0.
+    auto mod1 = [eps](double v) {
+        v -= std::floor(v);
+        if (v >= 1.0 - eps)
+            v = 0.0;
+        return v;
+    };
+
+    double a[3] = {mod1(t.tx), mod1(t.ty), mod1(t.tz)};
+
+    // Iterate: sort descending; while the leading pair violates
+    // tx + ty <= 1, apply the pairwise sign flip (x,y) -> (1-x, 1-y),
+    // which is a local symmetry. Each application strictly decreases
+    // the coordinate sum, so this terminates.
+    for (int iter = 0; iter < 64; ++iter) {
+        std::sort(a, a + 3, std::greater<double>());
+        if (a[0] + a[1] <= 1.0 + eps)
+            break;
+        a[0] = mod1(1.0 - a[0]);
+        a[1] = mod1(1.0 - a[1]);
+    }
+    std::sort(a, a + 3, std::greater<double>());
+
+    // Bottom-plane identification: (tx, ty, 0) ~ (1-tx, ty, 0).
+    if (a[2] <= eps) {
+        a[2] = 0.0;
+        if (a[0] > 0.5 + eps) {
+            a[0] = mod1(1.0 - a[0]);
+            std::sort(a, a + 3, std::greater<double>());
+        }
+    }
+    // Snap exact boundary representations.
+    for (double &v : a) {
+        if (v <= eps)
+            v = 0.0;
+    }
+    return {a[0], a[1], a[2]};
+}
+
+bool
+inCanonicalChamber(const CartanCoords &t, double eps)
+{
+    if (!(t.tx >= -eps && t.ty >= -eps && t.tz >= -eps))
+        return false;
+    if (!(t.tx >= t.ty - eps && t.ty >= t.tz - eps))
+        return false;
+    if (t.tx + t.ty > 1.0 + eps)
+        return false;
+    if (t.tz <= eps && t.tx > 0.5 + eps)
+        return false;
+    return true;
+}
+
+CartanCoords
+cartanCoords(const Mat4 &u)
+{
+    const KakDecomposition kak = kakDecompose(u);
+    return canonicalize(kak.coords);
+}
+
+double
+canonicalDistance(const CartanCoords &a, const CartanCoords &b)
+{
+    return canonicalize(a).distance(canonicalize(b));
+}
+
+} // namespace qbasis

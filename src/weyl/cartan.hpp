@@ -1,0 +1,98 @@
+#ifndef QBASIS_WEYL_CARTAN_HPP
+#define QBASIS_WEYL_CARTAN_HPP
+
+/**
+ * @file
+ * Cartan (Weyl-chamber) coordinates of two-qubit gates.
+ *
+ * Coordinates follow the paper's Eq. (1):
+ *   U = k1 exp(-i pi/2 (tx XX + ty YY + tz ZZ)) k2,
+ * so CNOT/CZ = (1/2,0,0), iSWAP = (1/2,1/2,0), SWAP = (1/2,1/2,1/2).
+ * The canonical chamber is the tetrahedron {I0, I1, iSWAP, SWAP} with
+ * the bottom-plane identification (tx,ty,0) ~ (1-tx,ty,0) resolved
+ * toward tx <= 1/2.
+ */
+
+#include <string>
+
+#include "linalg/mat4.hpp"
+
+namespace qbasis {
+
+/** A point in Cartan-coordinate space. */
+struct CartanCoords
+{
+    double tx = 0.0;
+    double ty = 0.0;
+    double tz = 0.0;
+
+    CartanCoords() = default;
+    CartanCoords(double x, double y, double z) : tx(x), ty(y), tz(z) {}
+
+    CartanCoords operator+(const CartanCoords &o) const
+    {
+        return {tx + o.tx, ty + o.ty, tz + o.tz};
+    }
+    CartanCoords operator-(const CartanCoords &o) const
+    {
+        return {tx - o.tx, ty - o.ty, tz - o.tz};
+    }
+    CartanCoords operator*(double s) const
+    {
+        return {tx * s, ty * s, tz * s};
+    }
+
+    /** Euclidean distance to another coordinate triple. */
+    double distance(const CartanCoords &o) const;
+
+    /** Human-readable "(tx, ty, tz)". */
+    std::string str(int precision = 4) const;
+};
+
+/** Named canonical-chamber points used throughout the paper. */
+namespace coords {
+CartanCoords identity0();   ///< (0, 0, 0)
+CartanCoords identity1();   ///< (1, 0, 0)
+CartanCoords cnot();        ///< (1/2, 0, 0) -- also CZ
+CartanCoords iswap();       ///< (1/2, 1/2, 0)
+CartanCoords swap();        ///< (1/2, 1/2, 1/2)
+CartanCoords sqrtIswap();   ///< (1/4, 1/4, 0)
+CartanCoords sqrtIswapMirror(); ///< (3/4, 1/4, 0), same class as sqiSW
+CartanCoords sqrtSwap();    ///< (1/4, 1/4, 1/4)
+CartanCoords sqrtSwapDag(); ///< (3/4, 1/4, 1/4)
+CartanCoords bGate();       ///< (1/2, 1/4, 0)
+} // namespace coords
+
+/**
+ * Reduce arbitrary Cartan coordinates into the canonical chamber.
+ *
+ * The reduction applies the local-equivalence symmetries: coordinate
+ * shifts by integers, pairwise sign flips, coordinate permutations,
+ * and the bottom-plane mirror.
+ *
+ * @param t    raw coordinates (any real values).
+ * @param eps  snapping tolerance for boundary decisions.
+ */
+CartanCoords canonicalize(const CartanCoords &t, double eps = 1e-10);
+
+/** True iff t lies inside the canonical chamber (within eps). */
+bool inCanonicalChamber(const CartanCoords &t, double eps = 1e-9);
+
+/**
+ * Canonical Cartan coordinates of a two-qubit unitary.
+ *
+ * Computed through the full KAK decomposition, then canonicalized.
+ */
+CartanCoords cartanCoords(const Mat4 &u);
+
+/**
+ * Distance between the local-equivalence classes of two coordinate
+ * triples: Euclidean distance after canonicalizing both (not a true
+ * quotient metric, but zero iff locally equivalent and smooth enough
+ * for the uses here).
+ */
+double canonicalDistance(const CartanCoords &a, const CartanCoords &b);
+
+} // namespace qbasis
+
+#endif // QBASIS_WEYL_CARTAN_HPP

@@ -1,0 +1,159 @@
+#include "weyl/gates.hpp"
+
+#include <cmath>
+
+#include "linalg/types.hpp"
+
+namespace qbasis {
+
+Mat4
+cnotGate()
+{
+    return Mat4::fromRows({
+        Complex(1), 0, 0, 0,
+        0, Complex(1), 0, 0,
+        0, 0, 0, Complex(1),
+        0, 0, Complex(1), 0,
+    });
+}
+
+Mat4
+czGate()
+{
+    return Mat4::diag(1.0, 1.0, 1.0, -1.0);
+}
+
+Mat4
+swapGate()
+{
+    return Mat4::fromRows({
+        Complex(1), 0, 0, 0,
+        0, 0, Complex(1), 0,
+        0, Complex(1), 0, 0,
+        0, 0, 0, Complex(1),
+    });
+}
+
+Mat4
+iswapGate()
+{
+    return Mat4::fromRows({
+        Complex(1), 0, 0, 0,
+        0, 0, kI, 0,
+        0, kI, 0, 0,
+        0, 0, 0, Complex(1),
+    });
+}
+
+Mat4
+sqrtIswapGate()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    return Mat4::fromRows({
+        Complex(1), 0, 0, 0,
+        0, Complex(s), kI * s, 0,
+        0, kI * s, Complex(s), 0,
+        0, 0, 0, Complex(1),
+    });
+}
+
+Mat4
+sqrtSwapGate()
+{
+    const Complex p(0.5, 0.5);
+    const Complex m(0.5, -0.5);
+    return Mat4::fromRows({
+        Complex(1), 0, 0, 0,
+        0, p, m, 0,
+        0, m, p, 0,
+        0, 0, 0, Complex(1),
+    });
+}
+
+Mat4
+sqrtSwapDagGate()
+{
+    return sqrtSwapGate().dagger();
+}
+
+Mat4
+bGate()
+{
+    return canonicalGate(0.5, 0.25, 0.0);
+}
+
+Mat4
+cphaseGate(double theta)
+{
+    return Mat4::diag(1.0, 1.0, 1.0, std::exp(kI * theta));
+}
+
+Mat4
+crzGate(double theta)
+{
+    return Mat4::diag(1.0, 1.0, std::exp(-kI * (theta / 2.0)),
+                      std::exp(kI * (theta / 2.0)));
+}
+
+Mat4
+rzzGate(double theta)
+{
+    const Complex em = std::exp(-kI * (theta / 2.0));
+    const Complex ep = std::exp(kI * (theta / 2.0));
+    return Mat4::diag(em, ep, ep, em);
+}
+
+Mat4
+xxOp()
+{
+    Mat4 m;
+    m(0, 3) = 1.0;
+    m(1, 2) = 1.0;
+    m(2, 1) = 1.0;
+    m(3, 0) = 1.0;
+    return m;
+}
+
+Mat4
+yyOp()
+{
+    Mat4 m;
+    m(0, 3) = -1.0;
+    m(1, 2) = 1.0;
+    m(2, 1) = 1.0;
+    m(3, 0) = -1.0;
+    return m;
+}
+
+Mat4
+zzOp()
+{
+    return Mat4::diag(1.0, -1.0, -1.0, 1.0);
+}
+
+Mat4
+canonicalGate(double tx, double ty, double tz)
+{
+    // XX, YY, ZZ commute; exp of each factor is cos - i sin * P.
+    auto factor = [](const Mat4 &p, double t) {
+        const double ang = kPi / 2.0 * t;
+        Mat4 m = Mat4::identity() * Complex(std::cos(ang), 0.0);
+        m += p * (-kI * std::sin(ang));
+        return m;
+    };
+    return factor(xxOp(), tx) * factor(yyOp(), ty) * factor(zzOp(), tz);
+}
+
+Mat4
+magicBasis()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    return Mat4::fromRows({
+        Complex(s), 0, 0, kI * s,
+        0, kI * s, Complex(s), 0,
+        0, kI * s, Complex(-s), 0,
+        Complex(s), 0, 0, -kI * s,
+    });
+}
+
+} // namespace qbasis

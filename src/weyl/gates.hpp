@@ -1,0 +1,72 @@
+#ifndef QBASIS_WEYL_GATES_HPP
+#define QBASIS_WEYL_GATES_HPP
+
+/**
+ * @file
+ * Standard two-qubit gate matrices and the canonical (Cartan) gate.
+ *
+ * Basis ordering is |00>, |01>, |10>, |11> with the first qubit as
+ * the most significant bit; controlled gates use the first qubit as
+ * control.
+ */
+
+#include "linalg/mat4.hpp"
+
+namespace qbasis {
+
+/** CNOT (control = first qubit). */
+Mat4 cnotGate();
+
+/** Controlled-Z. */
+Mat4 czGate();
+
+/** SWAP. */
+Mat4 swapGate();
+
+/** iSWAP. */
+Mat4 iswapGate();
+
+/** sqrt(iSWAP). */
+Mat4 sqrtIswapGate();
+
+/** sqrt(SWAP). */
+Mat4 sqrtSwapGate();
+
+/** sqrt(SWAP) dagger. */
+Mat4 sqrtSwapDagGate();
+
+/** The B gate (midpoint of the CNOT-iSWAP segment). */
+Mat4 bGate();
+
+/** Controlled-phase diag(1, 1, 1, e^{i theta}). */
+Mat4 cphaseGate(double theta);
+
+/** Controlled-RZ diag(1, 1, e^{-i theta/2}, e^{i theta/2}). */
+Mat4 crzGate(double theta);
+
+/** Two-qubit ZZ rotation exp(-i theta/2 Z(x)Z). */
+Mat4 rzzGate(double theta);
+
+/** Pauli products X(x)X, Y(x)Y, Z(x)Z. */
+Mat4 xxOp();
+Mat4 yyOp();
+Mat4 zzOp();
+
+/**
+ * Canonical gate CAN(tx, ty, tz) =
+ * exp(-i pi/2 (tx X(x)X + ty Y(x)Y + tz Z(x)Z)),
+ * the paper's Eq. (1) nonlocal factor. CAN(1/2,0,0) ~ CNOT,
+ * CAN(1/2,1/2,0) = iSWAP, CAN(1/2,1/2,1/2) ~ SWAP.
+ */
+Mat4 canonicalGate(double tx, double ty, double tz);
+
+/**
+ * The magic (Bell) basis change matrix Q; Q maps the magic basis to
+ * the computational basis. Q^dag U Q is real-orthogonal-diagonal
+ * factorizable for any U in SU(4) (Cartan / KAK decomposition).
+ */
+Mat4 magicBasis();
+
+} // namespace qbasis
+
+#endif // QBASIS_WEYL_GATES_HPP

@@ -1,0 +1,115 @@
+#include "weyl/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbasis {
+
+namespace {
+
+/** 3x3 determinant of column vectors. */
+double
+det3(const CartanCoords &a, const CartanCoords &b, const CartanCoords &c)
+{
+    return a.tx * (b.ty * c.tz - b.tz * c.ty)
+           - a.ty * (b.tx * c.tz - b.tz * c.tx)
+           + a.tz * (b.tx * c.ty - b.ty * c.tx);
+}
+
+CartanCoords
+cross(const CartanCoords &a, const CartanCoords &b)
+{
+    return {a.ty * b.tz - a.tz * b.ty, a.tz * b.tx - a.tx * b.tz,
+            a.tx * b.ty - a.ty * b.tx};
+}
+
+double
+dot(const CartanCoords &a, const CartanCoords &b)
+{
+    return a.tx * b.tx + a.ty * b.ty + a.tz * b.tz;
+}
+
+} // namespace
+
+double
+Tetrahedron::volume() const
+{
+    const CartanCoords e1 = v[1] - v[0];
+    const CartanCoords e2 = v[2] - v[0];
+    const CartanCoords e3 = v[3] - v[0];
+    return std::abs(det3(e1, e2, e3)) / 6.0;
+}
+
+bool
+Tetrahedron::contains(const CartanCoords &p, double eps) const
+{
+    // Barycentric coordinates via Cramer's rule.
+    const CartanCoords e1 = v[1] - v[0];
+    const CartanCoords e2 = v[2] - v[0];
+    const CartanCoords e3 = v[3] - v[0];
+    const double d = det3(e1, e2, e3);
+    if (std::abs(d) < 1e-300)
+        return false;
+    const CartanCoords r = p - v[0];
+    const double b1 = det3(r, e2, e3) / d;
+    const double b2 = det3(e1, r, e3) / d;
+    const double b3 = det3(e1, e2, r) / d;
+    const double b0 = 1.0 - b1 - b2 - b3;
+    return b0 >= -eps && b1 >= -eps && b2 >= -eps && b3 >= -eps;
+}
+
+double
+weylChamberVolume()
+{
+    return 1.0 / 24.0;
+}
+
+Tetrahedron
+weylChamberTetrahedron()
+{
+    return Tetrahedron{{coords::identity0(), coords::identity1(),
+                        coords::iswap(), coords::swap()}};
+}
+
+std::optional<double>
+segmentTriangleIntersection(const CartanCoords &p0, const CartanCoords &p1,
+                            const Triangle &tri, double eps)
+{
+    // Moller-Trumbore adapted to segments.
+    const CartanCoords dir = p1 - p0;
+    const CartanCoords e1 = tri.v[1] - tri.v[0];
+    const CartanCoords e2 = tri.v[2] - tri.v[0];
+    const CartanCoords h = cross(dir, e2);
+    const double a = dot(e1, h);
+    if (std::abs(a) < eps)
+        return std::nullopt; // Parallel to the triangle plane.
+    const double f = 1.0 / a;
+    const CartanCoords s = p0 - tri.v[0];
+    const double u = f * dot(s, h);
+    if (u < -1e-9 || u > 1.0 + 1e-9)
+        return std::nullopt;
+    const CartanCoords q = cross(s, e1);
+    const double v = f * dot(dir, q);
+    if (v < -1e-9 || u + v > 1.0 + 1e-9)
+        return std::nullopt;
+    const double t = f * dot(e2, q);
+    if (t < -1e-9 || t > 1.0 + 1e-9)
+        return std::nullopt;
+    return std::clamp(t, 0.0, 1.0);
+}
+
+double
+pointSegmentDistance(const CartanCoords &p, const CartanCoords &a,
+                     const CartanCoords &b)
+{
+    const CartanCoords ab = b - a;
+    const double len2 = dot(ab, ab);
+    if (len2 < 1e-300)
+        return p.distance(a);
+    double t = dot(p - a, ab) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+    const CartanCoords proj = a + ab * t;
+    return p.distance(proj);
+}
+
+} // namespace qbasis

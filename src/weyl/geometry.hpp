@@ -1,0 +1,63 @@
+#ifndef QBASIS_WEYL_GEOMETRY_HPP
+#define QBASIS_WEYL_GEOMETRY_HPP
+
+/**
+ * @file
+ * Euclidean geometry primitives in Cartan-coordinate space:
+ * tetrahedra, triangular faces, segments, intersections.
+ *
+ * These primitives back the closed-form region descriptions from the
+ * paper's Fig. 4 (the tetrahedra of gates unable to synthesize SWAP
+ * in 3 layers / CNOT in 2 layers, and the faces whose crossing marks
+ * the fastest usable basis gate).
+ */
+
+#include <array>
+#include <optional>
+
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/** A tetrahedron given by its four vertices. */
+struct Tetrahedron
+{
+    std::array<CartanCoords, 4> v;
+
+    /** Signed volume / 6 formula; returns the absolute volume. */
+    double volume() const;
+
+    /** Containment test with boundary tolerance eps. */
+    bool contains(const CartanCoords &p, double eps = 1e-9) const;
+};
+
+/** A triangle (used as a chamber face). */
+struct Triangle
+{
+    std::array<CartanCoords, 3> v;
+};
+
+/** Volume of the canonical Weyl chamber tetrahedron (1/24). */
+double weylChamberVolume();
+
+/** The canonical chamber as a tetrahedron {I0, I1, iSWAP, SWAP}. */
+Tetrahedron weylChamberTetrahedron();
+
+/**
+ * Intersect segment p0->p1 with a triangle. Returns the segment
+ * parameter s in [0,1] of the first crossing, or nullopt.
+ */
+std::optional<double> segmentTriangleIntersection(
+    const CartanCoords &p0, const CartanCoords &p1, const Triangle &tri,
+    double eps = 1e-12);
+
+/**
+ * Distance from a point to a segment a->b (used for L0/L1 membership
+ * checks in the 2-layer SWAP analysis).
+ */
+double pointSegmentDistance(const CartanCoords &p, const CartanCoords &a,
+                            const CartanCoords &b);
+
+} // namespace qbasis
+
+#endif // QBASIS_WEYL_GEOMETRY_HPP

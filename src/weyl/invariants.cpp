@@ -1,0 +1,84 @@
+#include "weyl/invariants.hpp"
+
+#include <cmath>
+
+#include "weyl/gates.hpp"
+
+namespace qbasis {
+
+MakhlinInvariants
+makhlinInvariants(const Mat4 &u)
+{
+    static const Mat4 q = magicBasis();
+    static const Mat4 qd = q.dagger();
+
+    const Mat4 m = qd * u.toSU4() * q;
+    const Mat4 mt_m = m.transpose() * m;
+
+    const Complex tr = mt_m.trace();
+    // Tr(mtm^2) without forming the square.
+    Complex tr2{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            tr2 += mt_m(i, j) * mt_m(j, i);
+
+    MakhlinInvariants inv;
+    inv.g1 = tr * tr / 16.0;
+    inv.g2 = ((tr * tr - tr2) / 4.0).real();
+    return inv;
+}
+
+MakhlinInvariants
+invariantsFromCoords(const CartanCoords &c)
+{
+    // Closed form via the magic-basis spectrum of the canonical gate:
+    // eigenphases are -pi/2 (s . t) over the sign triples s with
+    // sx sy sz = -1.
+    const double px = kPi * c.tx;
+    const double py = kPi * c.ty;
+    const double pz = kPi * c.tz;
+    // Sum over the four triples (+,+,-),(+,-,+),(-,+,+),(-,-,-):
+    const Complex e1 = std::exp(Complex(0.0, -(px + py - pz) / 1.0));
+    const Complex e2 = std::exp(Complex(0.0, -(px - py + pz)));
+    const Complex e3 = std::exp(Complex(0.0, -(-px + py + pz)));
+    const Complex e4 = std::exp(Complex(0.0, (px + py + pz)));
+    const Complex tr = e1 + e2 + e3 + e4;
+    const Complex tr2 = e1 * e1 + e2 * e2 + e3 * e3 + e4 * e4;
+
+    MakhlinInvariants inv;
+    inv.g1 = tr * tr / 16.0;
+    inv.g2 = ((tr * tr - tr2) / 4.0).real();
+    return inv;
+}
+
+double
+invariantDistanceSq(const MakhlinInvariants &a, const MakhlinInvariants &b)
+{
+    const double d1 = std::norm(a.g1 - b.g1);
+    const double d2 = a.g2 - b.g2;
+    return d1 + d2 * d2;
+}
+
+double
+entanglingPower(const CartanCoords &c)
+{
+    const double cx = std::cos(kTwoPi * c.tx);
+    const double cy = std::cos(kTwoPi * c.ty);
+    const double cz = std::cos(kTwoPi * c.tz);
+    return (3.0 - cx * cy - cy * cz - cz * cx) / 18.0;
+}
+
+double
+entanglingPower(const Mat4 &u)
+{
+    return entanglingPower(cartanCoords(u));
+}
+
+bool
+isPerfectEntangler(const CartanCoords &c, double eps)
+{
+    return c.tx + c.ty >= 0.5 - eps && c.tx - c.ty <= 0.5 + eps
+           && c.ty + c.tz <= 0.5 + eps;
+}
+
+} // namespace qbasis

@@ -1,0 +1,61 @@
+#ifndef QBASIS_WEYL_INVARIANTS_HPP
+#define QBASIS_WEYL_INVARIANTS_HPP
+
+/**
+ * @file
+ * Local invariants of two-qubit gates: Makhlin invariants, entangling
+ * power, and the perfect-entangler predicate.
+ */
+
+#include "linalg/mat4.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/**
+ * The Makhlin local invariants (g1 complex, g2 real). Two 2Q gates
+ * are locally equivalent iff their invariants agree.
+ */
+struct MakhlinInvariants
+{
+    Complex g1;
+    double g2 = 0.0;
+};
+
+/** Invariants of a unitary (phase-normalized internally). */
+MakhlinInvariants makhlinInvariants(const Mat4 &u);
+
+/** Invariants of the canonical gate with the given coordinates. */
+MakhlinInvariants invariantsFromCoords(const CartanCoords &c);
+
+/**
+ * Squared distance in invariant space; zero iff locally equivalent.
+ * This is the (smooth) objective used by the two-layer feasibility
+ * oracle.
+ */
+double invariantDistanceSq(const MakhlinInvariants &a,
+                           const MakhlinInvariants &b);
+
+/**
+ * Entangling power ep in [0, 2/9] from canonical coordinates
+ * (Zanardi et al.):
+ *   ep = (3 - cos(2 pi tx) cos(2 pi ty) - cos(2 pi ty) cos(2 pi tz)
+ *           - cos(2 pi tz) cos(2 pi tx)) / 18.
+ * ep(CNOT) = ep(iSWAP) = ep(B) = 2/9; ep(sqrt(iSWAP)) = 1/6;
+ * ep(I) = ep(SWAP) = 0.
+ */
+double entanglingPower(const CartanCoords &c);
+
+/** Entangling power of a unitary (through its Cartan coordinates). */
+double entanglingPower(const Mat4 &u);
+
+/**
+ * Perfect-entangler predicate on canonical coordinates:
+ * tx + ty >= 1/2 and tx - ty <= 1/2 and ty + tz <= 1/2.
+ * The PE polyhedron occupies exactly half the chamber volume.
+ */
+bool isPerfectEntangler(const CartanCoords &canonical, double eps = 1e-9);
+
+} // namespace qbasis
+
+#endif // QBASIS_WEYL_INVARIANTS_HPP

@@ -1,0 +1,210 @@
+#include "weyl/kak.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "linalg/factor.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/simdiag.hpp"
+#include "util/logging.hpp"
+#include "weyl/gates.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/**
+ * Diagonal sign patterns of XX, YY, ZZ in the magic basis.
+ *
+ * In the magic basis the three interaction generators are diagonal
+ * with entries +-1; the patterns are computed once from the basis
+ * definition rather than hardcoded, keeping them consistent with any
+ * change of the magic matrix convention.
+ */
+struct MagicPatterns
+{
+    std::array<double, 4> px, py, pz;
+};
+
+const MagicPatterns &
+magicPatterns()
+{
+    static const MagicPatterns patterns = [] {
+        const Mat4 q = magicBasis();
+        const Mat4 qd = q.dagger();
+        MagicPatterns p{};
+        const Mat4 xs = qd * xxOp() * q;
+        const Mat4 ys = qd * yyOp() * q;
+        const Mat4 zs = qd * zzOp() * q;
+        for (int k = 0; k < 4; ++k) {
+            p.px[k] = xs(k, k).real();
+            p.py[k] = ys(k, k).real();
+            p.pz[k] = zs(k, k).real();
+        }
+        // Validate: strictly diagonal +-1 entries.
+        for (int k = 0; k < 4; ++k) {
+            if (std::abs(std::abs(p.px[k]) - 1.0) > 1e-12
+                || std::abs(std::abs(p.py[k]) - 1.0) > 1e-12
+                || std::abs(std::abs(p.pz[k]) - 1.0) > 1e-12) {
+                panic("magic-basis interaction patterns are not +-1");
+            }
+        }
+        return p;
+    }();
+    return patterns;
+}
+
+/** Convert a Mat4 into the dynamic type for the simdiag helpers. */
+CMat
+toCMat(const Mat4 &m)
+{
+    CMat r(4, 4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = m(i, j);
+    return r;
+}
+
+Mat4
+fromRMat(const RMat &m)
+{
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            r(i, j) = m(i, j);
+    return r;
+}
+
+} // namespace
+
+Mat4
+KakDecomposition::reconstruct() const
+{
+    const Mat4 left = Mat4::kron(a1, a0);
+    const Mat4 right = Mat4::kron(b1, b0);
+    const Mat4 can = canonicalGate(coords.tx, coords.ty, coords.tz);
+    return (left * can * right) * phase;
+}
+
+KakDecomposition
+kakDecompose(const Mat4 &u, double tol)
+{
+    if (!u.isUnitary(1e-7))
+        panic("kakDecompose requires a unitary input");
+
+    // Phase-normalize into SU(4), remembering the global phase.
+    const Mat4 usu = u.toSU4();
+    Complex global = 0.0;
+    {
+        // u = g * usu with |g| = 1.
+        Complex overlap{};
+        for (int i = 0; i < 4; ++i)
+            for (int j = 0; j < 4; ++j)
+                overlap += std::conj(usu(i, j)) * u(i, j);
+        global = overlap / 4.0;
+        global /= std::abs(global);
+    }
+
+    const Mat4 q = magicBasis();
+    const Mat4 qd = q.dagger();
+    const Mat4 m = qd * usu * q;
+
+    // Bidiagonalize M = L D R^T with L, R in SO(4), D diagonal
+    // unitary. L simultaneously diagonalizes Re/Im of M M^T.
+    const Mat4 mmt = m * m.transpose();
+    std::vector<Complex> d2;
+    const RMat l_r = diagonalizeSymmetricUnitary(toCMat(mmt), d2);
+    const Mat4 l = fromRMat(l_r);
+
+    // Rows of L^T M equal d_k times real orthonormal rows of R^T.
+    const Mat4 ltm = l.transpose() * m;
+    std::array<Complex, 4> d{};
+    Mat4 rt;
+    for (int k = 0; k < 4; ++k) {
+        // Phase of the largest entry in the row.
+        int jbest = 0;
+        double best = 0.0;
+        for (int j = 0; j < 4; ++j) {
+            const double mag = std::abs(ltm(k, j));
+            if (mag > best) {
+                best = mag;
+                jbest = j;
+            }
+        }
+        if (best < 1e-12)
+            panic("kakDecompose: zero row in bidiagonalization");
+        Complex phase = ltm(k, jbest) / std::abs(ltm(k, jbest));
+        double imag_residual = 0.0;
+        for (int j = 0; j < 4; ++j) {
+            const Complex v = ltm(k, j) / phase;
+            rt(k, j) = v.real();
+            imag_residual = std::max(imag_residual, std::abs(v.imag()));
+        }
+        if (imag_residual > tol) {
+            panic("kakDecompose: bidiagonalization residual %.3e "
+                  "exceeds tolerance", imag_residual);
+        }
+        d[k] = phase;
+    }
+
+    // Enforce det(R^T) = +1 (flip one row and its phase).
+    Mat4 rt_real = rt;
+    {
+        // det of a real 4x4 via the complex routine.
+        const Complex detr = rt_real.det();
+        if (detr.real() < 0.0) {
+            for (int j = 0; j < 4; ++j)
+                rt_real(3, j) = -rt_real(3, j).real();
+            d[3] = -d[3];
+        }
+    }
+
+    // Solve theta_k = w - (pi/2)(tx px_k + ty py_k + tz pz_k).
+    const MagicPatterns &pat = magicPatterns();
+    std::array<double, 4> theta{};
+    for (int k = 0; k < 4; ++k)
+        theta[k] = std::arg(d[k]);
+    double w = 0.0, sx = 0.0, sy = 0.0, sz = 0.0;
+    for (int k = 0; k < 4; ++k) {
+        w += theta[k];
+        sx += theta[k] * pat.px[k];
+        sy += theta[k] * pat.py[k];
+        sz += theta[k] * pat.pz[k];
+    }
+    w /= 4.0;
+    KakDecomposition out;
+    out.coords.tx = -sx / (2.0 * kPi / 2.0 * 2.0);
+    out.coords.ty = -sy / (2.0 * kPi / 2.0 * 2.0);
+    out.coords.tz = -sz / (2.0 * kPi / 2.0 * 2.0);
+
+    // Residual of the linear solve must vanish: the four angles live
+    // in span{1, px, py, pz} only up to 2pi jumps, which the solve
+    // absorbs exactly because the patterns are orthogonal sign
+    // vectors. Verify by direct reconstruction below instead.
+
+    const Mat4 k1_4 = q * l * qd * std::exp(Complex(0.0, w));
+    const Mat4 k2_4 = q * rt_real * qd;
+
+    const TensorFactor f1 = factorTensorProduct(k1_4);
+    const TensorFactor f2 = factorTensorProduct(k2_4);
+    if (f1.residual > tol || f2.residual > tol) {
+        panic("kakDecompose: local factors are not tensor products "
+              "(residuals %.3e, %.3e)", f1.residual, f2.residual);
+    }
+
+    out.a1 = f1.a;
+    out.a0 = f1.b;
+    out.b1 = f2.a;
+    out.b0 = f2.b;
+    out.phase = global * f1.phase * f2.phase;
+
+    // Final validation against the input.
+    const double err = out.reconstruct().maxAbsDiff(u);
+    if (err > 100.0 * tol) {
+        panic("kakDecompose: reconstruction error %.3e exceeds "
+              "tolerance", err);
+    }
+    return out;
+}
+
+} // namespace qbasis

@@ -1,0 +1,45 @@
+#ifndef QBASIS_WEYL_KAK_HPP
+#define QBASIS_WEYL_KAK_HPP
+
+/**
+ * @file
+ * Full KAK (Cartan) decomposition of two-qubit unitaries.
+ *
+ * Any U in U(4) factors as
+ *   U = phase * (a1 (x) a0) * CAN(tx,ty,tz) * (b1 (x) b0)
+ * with a*, b* in SU(2). The coordinates returned here are a valid
+ * representative, not necessarily canonical; use cartanCoords() for
+ * canonical chamber coordinates.
+ */
+
+#include "linalg/mat2.hpp"
+#include "linalg/mat4.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/** Result of the KAK decomposition. */
+struct KakDecomposition
+{
+    Complex phase;       ///< Global phase.
+    Mat2 a1;             ///< Left local on the first qubit.
+    Mat2 a0;             ///< Left local on the second qubit.
+    CartanCoords coords; ///< Interaction coordinates (representative).
+    Mat2 b1;             ///< Right local on the first qubit.
+    Mat2 b0;             ///< Right local on the second qubit.
+
+    /** Rebuild the unitary from the factors. */
+    Mat4 reconstruct() const;
+};
+
+/**
+ * Compute the KAK decomposition of a 4x4 unitary.
+ *
+ * @param u    the unitary (need not be special).
+ * @param tol  validation tolerance; exceeding it raises panic().
+ */
+KakDecomposition kakDecompose(const Mat4 &u, double tol = 1e-8);
+
+} // namespace qbasis
+
+#endif // QBASIS_WEYL_KAK_HPP

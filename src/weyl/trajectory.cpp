@@ -1,0 +1,46 @@
+#include "weyl/trajectory.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+Trajectory::Trajectory(std::vector<TrajectoryPoint> points)
+    : points_(std::move(points))
+{
+    for (size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].duration < points_[i - 1].duration)
+            fatal("Trajectory points must be sorted by duration");
+    }
+}
+
+void
+Trajectory::append(TrajectoryPoint p)
+{
+    if (!points_.empty() && p.duration < points_.back().duration)
+        fatal("Trajectory::append requires non-decreasing durations");
+    points_.push_back(std::move(p));
+}
+
+std::optional<size_t>
+Trajectory::firstIndexWhere(
+    const std::function<bool(const TrajectoryPoint &)> &pred) const
+{
+    for (size_t i = 0; i < points_.size(); ++i) {
+        if (pred(points_[i]))
+            return i;
+    }
+    return std::nullopt;
+}
+
+double
+Trajectory::maxLeakage() const
+{
+    double m = 0.0;
+    for (const auto &p : points_)
+        m = std::max(m, p.leakage);
+    return m;
+}
+
+} // namespace qbasis

@@ -1,0 +1,73 @@
+#ifndef QBASIS_WEYL_TRAJECTORY_HPP
+#define QBASIS_WEYL_TRAJECTORY_HPP
+
+/**
+ * @file
+ * Cartan trajectories: time-ordered sequences of two-qubit unitaries
+ * produced by increasing the entangling pulse duration.
+ */
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "linalg/mat4.hpp"
+#include "weyl/cartan.hpp"
+
+namespace qbasis {
+
+/** One sampled point of a Cartan trajectory. */
+struct TrajectoryPoint
+{
+    double duration = 0.0;   ///< Entangling pulse duration (ns).
+    Mat4 unitary;            ///< Effective 2Q unitary at this duration.
+    CartanCoords coords;     ///< Canonical Cartan coordinates.
+    double leakage = 0.0;    ///< Population left outside the 2Q space.
+};
+
+/**
+ * A sampled Cartan trajectory (typically at the 1 ns controller
+ * resolution the paper assumes).
+ */
+class Trajectory
+{
+  public:
+    Trajectory() = default;
+
+    /** Construct from pre-computed points (sorted by duration). */
+    explicit Trajectory(std::vector<TrajectoryPoint> points);
+
+    /** Append one sample; durations must be non-decreasing. */
+    void append(TrajectoryPoint p);
+
+    /** Number of samples. */
+    size_t size() const { return points_.size(); }
+
+    /** True when no samples are present. */
+    bool empty() const { return points_.empty(); }
+
+    /** Access a sample. */
+    const TrajectoryPoint &at(size_t i) const { return points_.at(i); }
+
+    /** All samples. */
+    const std::vector<TrajectoryPoint> &points() const { return points_; }
+
+    /**
+     * First sample (by duration) satisfying `pred`, or nullopt.
+     * This models selecting the fastest gate at controller
+     * resolution.
+     */
+    std::optional<size_t>
+    firstIndexWhere(const std::function<bool(const TrajectoryPoint &)> &pred)
+        const;
+
+    /** Largest leakage over all samples. */
+    double maxLeakage() const;
+
+  private:
+    std::vector<TrajectoryPoint> points_;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_WEYL_TRAJECTORY_HPP

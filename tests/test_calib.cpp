@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the calibration library: QPT reconstruction quality and
+ * shot-noise scaling, GST refinement, drift model, and the two-stage
+ * calibration protocol on a simulated pair.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "calib/drift.hpp"
+#include "calib/gst.hpp"
+#include "calib/protocol.hpp"
+#include "calib/qpt.hpp"
+#include "core/criteria.hpp"
+#include "linalg/random.hpp"
+#include "sim/device.hpp"
+#include "util/rng.hpp"
+#include "weyl/gates.hpp"
+#include "weyl/invariants.hpp"
+
+namespace qbasis {
+namespace {
+
+TEST(Qpt, ExactShotsRecoverGateExactly)
+{
+    Rng rng(1);
+    QptOptions opts;
+    opts.shots = 0; // exact expectation values
+    for (const Mat4 &gate : {cnotGate(), iswapGate(), sqrtIswapGate(),
+                             canonicalGate(0.31, 0.22, 0.08)}) {
+        const QptResult r = simulateQpt(gate, opts, rng);
+        EXPECT_LT(traceInfidelity(r.estimate, gate), 1e-9);
+        EXPECT_NEAR(r.choi_purity, 1.0, 1e-9);
+    }
+}
+
+TEST(Qpt, RandomUnitariesRecovered)
+{
+    Rng rng(2);
+    QptOptions opts;
+    opts.shots = 0;
+    for (int i = 0; i < 10; ++i) {
+        const Mat4 gate = randomSU4(rng);
+        const QptResult r = simulateQpt(gate, opts, rng);
+        EXPECT_LT(traceInfidelity(r.estimate, gate), 1e-9);
+    }
+}
+
+TEST(Qpt, ShotNoiseScalesDown)
+{
+    Rng rng(3);
+    const Mat4 gate = sqrtIswapGate();
+    auto avg_err = [&](int shots, int reps) {
+        QptOptions opts;
+        opts.shots = shots;
+        double sum = 0.0;
+        for (int i = 0; i < reps; ++i)
+            sum += traceInfidelity(
+                simulateQpt(gate, opts, rng).estimate, gate);
+        return sum / reps;
+    };
+    const double err_small = avg_err(100, 5);
+    const double err_large = avg_err(6400, 5);
+    EXPECT_GT(err_small, err_large);
+    // Infidelity ~ shots^-1: 64x shots => ~64x error; allow slack.
+    EXPECT_GT(err_small / err_large, 8.0);
+}
+
+TEST(Qpt, SpamErrorRaisesNoiseFloorButNotBias)
+{
+    // Depolarizing SPAM lowers the Choi purity yet the extracted
+    // unitary stays close to the truth (the dominant eigenvector is
+    // unchanged) -- QPT "cannot separate SPAM from the gate".
+    Rng rng(4);
+    QptOptions opts;
+    opts.shots = 0;
+    opts.spam_error = 0.05;
+    const QptResult r = simulateQpt(iswapGate(), opts, rng);
+    EXPECT_LT(r.choi_purity, 0.99);
+    EXPECT_LT(traceInfidelity(r.estimate, iswapGate()), 1e-6);
+}
+
+TEST(Gst, RefinesToErrorFloor)
+{
+    Rng rng(5);
+    GstOptions opts;
+    opts.error_floor = 1e-4;
+    const Mat4 gate = canonicalGate(0.27, 0.24, 0.05);
+    double worst = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        const Mat4 est = simulateGst(gate, opts, rng);
+        worst = std::max(worst, traceInfidelity(est, gate));
+    }
+    EXPECT_LT(worst, 1e-5);
+    EXPECT_GT(worst, 0.0);
+}
+
+TEST(Drift, SmallRelativeChanges)
+{
+    Rng rng(6);
+    const GridDevice dev{GridDeviceParams{}};
+    const PairDeviceParams p = dev.edgeParams(0);
+    DriftModel model;
+    const PairDeviceParams d = driftParams(p, model, rng);
+    EXPECT_NEAR(d.qubit_a.omega / p.qubit_a.omega, 1.0, 1e-3);
+    EXPECT_NEAR(d.g_ac / p.g_ac, 1.0, 1e-2);
+    EXPECT_NE(d.qubit_a.omega, p.qubit_a.omega);
+}
+
+class ProtocolTest : public ::testing::Test
+{
+  protected:
+    static const PairSimulator &sim()
+    {
+        static const GridDevice dev{GridDeviceParams{}};
+        static const PairSimulator s(dev.edgeParams(0),
+                                     dev.couplerOmegaMax());
+        return s;
+    }
+};
+
+TEST_F(ProtocolTest, InitialTuneupFindsCriterion1Gate)
+{
+    Rng rng(7);
+    TuneupOptions opts;
+    opts.xi = 0.04;
+    opts.max_ns = 20.0;
+    opts.qpt.shots = 800;
+    opts.gst.error_floor = 1e-5;
+    const TuneupResult r = initialTuneup(
+        sim(), criterionPredicate(SelectionCriterion::Criterion1),
+        opts, rng);
+    ASSERT_TRUE(r.success);
+    // The strong-drive gate lands near 10 ns on this device.
+    EXPECT_GT(r.duration_ns, 5.0);
+    EXPECT_LT(r.duration_ns, 20.0);
+    EXPECT_TRUE(criterionSatisfied(SelectionCriterion::Criterion1,
+                                   cartanCoords(r.gate)));
+    EXPECT_GE(r.candidates.size(), 1u);
+    // The measured (QPT) trajectory covers the window at 1 ns steps.
+    EXPECT_GE(r.measured.size(), 20u);
+}
+
+TEST_F(ProtocolTest, QptImprecisionKeepsCandidateHalo)
+{
+    Rng rng(8);
+    TuneupOptions opts;
+    opts.xi = 0.04;
+    opts.max_ns = 20.0;
+    opts.qpt.shots = 300; // noisy
+    opts.candidate_halo = 2;
+    const TuneupResult r = initialTuneup(
+        sim(), criterionPredicate(SelectionCriterion::Criterion1),
+        opts, rng);
+    ASSERT_TRUE(r.success);
+    EXPECT_GE(r.candidates.size(), 2u);
+    EXPECT_LE(r.candidates.size(), 5u);
+}
+
+TEST_F(ProtocolTest, RetuneTracksDrift)
+{
+    Rng rng(9);
+    TuneupOptions opts;
+    opts.xi = 0.04;
+    opts.max_ns = 20.0;
+    opts.qpt.shots = 800;
+    const TuneupResult tuneup = initialTuneup(
+        sim(), criterionPredicate(SelectionCriterion::Criterion1),
+        opts, rng);
+    ASSERT_TRUE(tuneup.success);
+
+    // Drift the device, then retune.
+    const GridDevice dev{GridDeviceParams{}};
+    DriftModel model;
+    const PairDeviceParams drifted_params =
+        driftParams(dev.edgeParams(0), model, rng);
+    const PairSimulator drifted(drifted_params, dev.couplerOmegaMax());
+
+    const RetuneResult r =
+        retune(drifted, tuneup, GstOptions{}, rng);
+    EXPECT_DOUBLE_EQ(r.duration_ns, tuneup.duration_ns);
+    // The refreshed gate stays close to the tuneup gate (drift is
+    // slow) but is not identical.
+    EXPECT_LT(r.gate_shift, 0.05);
+    EXPECT_GT(r.gate_shift, 0.0);
+    // And it still satisfies the criterion.
+    EXPECT_TRUE(criterionSatisfied(SelectionCriterion::Criterion1,
+                                   cartanCoords(r.gate), 1e-6));
+}
+
+TEST(Protocol, FailsGracefullyOnShortWindow)
+{
+    const GridDevice dev{GridDeviceParams{}};
+    const PairSimulator s(dev.edgeParams(1), dev.couplerOmegaMax());
+    Rng rng(10);
+    TuneupOptions opts;
+    opts.xi = 0.005;
+    opts.max_ns = 5.0; // far too short for the baseline amplitude
+    opts.qpt.shots = 0;
+    const TuneupResult r = initialTuneup(
+        s, criterionPredicate(SelectionCriterion::Criterion1), opts,
+        rng);
+    EXPECT_FALSE(r.success);
+}
+
+} // namespace
+} // namespace qbasis

@@ -1,0 +1,520 @@
+/**
+ * @file
+ * Tests for the linalg library: fixed and dynamic matrices,
+ * eigensolvers, simultaneous diagonalization, exponentials, SU(2)
+ * helpers, tensor factorization, Haar sampling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/eig_herm.hpp"
+#include "linalg/eig_sym.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/factor.hpp"
+#include "linalg/mat2.hpp"
+#include "linalg/mat4.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/random.hpp"
+#include "linalg/simdiag.hpp"
+#include "linalg/su2.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace qbasis {
+namespace {
+
+TEST(Mat2, IdentityMultiplication)
+{
+    Rng rng(1);
+    const Mat2 u = randomSU2(rng);
+    EXPECT_LT((u * Mat2::identity()).maxAbsDiff(u), 1e-14);
+    EXPECT_LT((Mat2::identity() * u).maxAbsDiff(u), 1e-14);
+}
+
+TEST(Mat2, DaggerInvertsUnitary)
+{
+    Rng rng(2);
+    const Mat2 u = randomSU2(rng);
+    EXPECT_LT((u * u.dagger()).maxAbsDiff(Mat2::identity()), 1e-13);
+}
+
+TEST(Mat2, DetOfSU2IsOne)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        const Mat2 u = randomSU2(rng);
+        EXPECT_NEAR(std::abs(u.det() - Complex(1.0)), 0.0, 1e-12);
+    }
+}
+
+TEST(Mat2, TraceAndNorm)
+{
+    const Mat2 m(1.0, 2.0, 3.0, 4.0);
+    EXPECT_EQ(m.trace(), Complex(5.0));
+    EXPECT_NEAR(m.frobeniusNorm(), std::sqrt(30.0), 1e-14);
+}
+
+TEST(Mat4, IdentityAndDiag)
+{
+    const Mat4 d = Mat4::diag(1.0, 2.0, 3.0, 4.0);
+    EXPECT_EQ(d.trace(), Complex(10.0));
+    EXPECT_LT((Mat4::identity() * d).maxAbsDiff(d), 1e-15);
+}
+
+TEST(Mat4, KronMatchesManual)
+{
+    const Mat2 a(1.0, 2.0, 3.0, 4.0);
+    const Mat2 b(0.0, 1.0, 1.0, 0.0);
+    const Mat4 k = Mat4::kron(a, b);
+    // (a kron b)(0,1) = a(0,0) b(0,1) = 1
+    EXPECT_EQ(k(0, 1), Complex(1.0));
+    // (a kron b)(2,3): row 2 = a-row 1, b-row 0; col 3 = a-col 1,
+    // b-col 1 -> a(1,1) b(0,1) = 4.
+    EXPECT_EQ(k(2, 3), Complex(4.0));
+    // (a kron b)(3,2) = a(1,1) b(1,0) = 4.
+    EXPECT_EQ(k(3, 2), Complex(4.0));
+}
+
+TEST(Mat4, KronMixedProductProperty)
+{
+    Rng rng(4);
+    const Mat2 a = randomSU2(rng), b = randomSU2(rng);
+    const Mat2 c = randomSU2(rng), d = randomSU2(rng);
+    const Mat4 lhs = Mat4::kron(a, b) * Mat4::kron(c, d);
+    const Mat4 rhs = Mat4::kron(a * c, b * d);
+    EXPECT_LT(lhs.maxAbsDiff(rhs), 1e-13);
+}
+
+TEST(Mat4, DetOfUnitaryHasUnitModulus)
+{
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        const Mat4 u = randomUnitary4(rng);
+        EXPECT_NEAR(std::abs(u.det()), 1.0, 1e-11);
+    }
+}
+
+TEST(Mat4, DetMatchesKnownValue)
+{
+    // Permutation (SWAP-like) matrix has det -1... SWAP det is -1.
+    Mat4 swap;
+    swap(0, 0) = 1.0;
+    swap(1, 2) = 1.0;
+    swap(2, 1) = 1.0;
+    swap(3, 3) = 1.0;
+    EXPECT_NEAR(std::abs(swap.det() - Complex(-1.0)), 0.0, 1e-14);
+}
+
+TEST(Mat4, ToSU4HasUnitDet)
+{
+    Rng rng(6);
+    for (int i = 0; i < 20; ++i) {
+        const Mat4 u = randomUnitary4(rng);
+        const Mat4 s = u.toSU4();
+        EXPECT_NEAR(std::abs(s.det() - Complex(1.0)), 0.0, 1e-10);
+        // Same gate up to phase.
+        EXPECT_NEAR(traceInfidelity(u, s), 0.0, 1e-10);
+    }
+}
+
+TEST(Mat4, TraceInfidelityZeroIffPhaseEqual)
+{
+    Rng rng(7);
+    const Mat4 u = randomUnitary4(rng);
+    const Mat4 v = u * std::exp(Complex(0.0, 1.234));
+    EXPECT_NEAR(traceInfidelity(u, v), 0.0, 1e-12);
+    const Mat4 w = randomUnitary4(rng);
+    EXPECT_GT(traceInfidelity(u, w), 1e-3);
+}
+
+TEST(Mat4, IsUnitaryDetectsNonUnitary)
+{
+    Mat4 m = Mat4::identity();
+    m(0, 0) = 1.5;
+    EXPECT_FALSE(m.isUnitary());
+    EXPECT_TRUE(Mat4::identity().isUnitary());
+}
+
+TEST(DynamicMatrix, MultiplyShapes)
+{
+    RMat a(2, 3), b(3, 4);
+    a(0, 0) = 1.0;
+    a(1, 2) = 2.0;
+    b(0, 3) = 5.0;
+    b(2, 1) = 7.0;
+    const RMat c = a * b;
+    EXPECT_EQ(c.rows(), 2u);
+    EXPECT_EQ(c.cols(), 4u);
+    EXPECT_DOUBLE_EQ(c(0, 3), 5.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 14.0);
+}
+
+TEST(DynamicMatrix, DaggerConjugates)
+{
+    CMat m(2, 2);
+    m(0, 1) = Complex(1.0, 2.0);
+    const CMat d = m.dagger();
+    EXPECT_EQ(d(1, 0), Complex(1.0, -2.0));
+}
+
+TEST(DynamicMatrix, KronDims)
+{
+    CMat a = CMat::identity(3);
+    CMat b = CMat::identity(4);
+    const CMat k = kron(a, b);
+    EXPECT_EQ(k.rows(), 12u);
+    EXPECT_TRUE(k.isUnitary(1e-12));
+}
+
+class JacobiSymParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(JacobiSymParam, ReconstructsRandomSymmetric)
+{
+    const int n = GetParam();
+    Rng rng(100 + n);
+    RMat a(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j <= i; ++j) {
+            const double v = rng.normal();
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+    const SymEig e = jacobiEigSym(a);
+    // V orthogonal
+    EXPECT_LT((e.vectors.transpose() * e.vectors)
+                  .maxAbsDiff(RMat::identity(n)),
+              1e-10);
+    // Reconstruction
+    RMat d(n, n);
+    for (int i = 0; i < n; ++i)
+        d(i, i) = e.values[i];
+    const RMat rec = e.vectors * d * e.vectors.transpose();
+    EXPECT_LT(rec.maxAbsDiff(a), 1e-9);
+    // Ascending order
+    for (int i = 1; i < n; ++i)
+        EXPECT_LE(e.values[i - 1], e.values[i] + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiSymParam,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 27));
+
+TEST(JacobiSym, KnownEigenvalues)
+{
+    RMat a(2, 2);
+    a(0, 0) = 2.0;
+    a(1, 1) = 2.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    const SymEig e = jacobiEigSym(a);
+    EXPECT_NEAR(e.values[0], 1.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+}
+
+class JacobiHermParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(JacobiHermParam, ReconstructsRandomHermitian)
+{
+    const int n = GetParam();
+    Rng rng(200 + n);
+    CMat h(n, n);
+    for (int i = 0; i < n; ++i) {
+        h(i, i) = rng.normal();
+        for (int j = 0; j < i; ++j) {
+            const Complex v(rng.normal(), rng.normal());
+            h(i, j) = v;
+            h(j, i) = std::conj(v);
+        }
+    }
+    const HermEig e = jacobiEigHerm(h);
+    EXPECT_TRUE(e.vectors.isUnitary(1e-10));
+    CMat d(n, n);
+    for (int i = 0; i < n; ++i)
+        d(i, i) = e.values[i];
+    const CMat rec = e.vectors * d * e.vectors.dagger();
+    EXPECT_LT(rec.maxAbsDiff(h), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiHermParam,
+                         ::testing::Values(1, 2, 3, 4, 9, 27));
+
+TEST(JacobiHerm, PauliYEigenvalues)
+{
+    CMat h(2, 2);
+    h(0, 1) = Complex(0.0, -1.0);
+    h(1, 0) = Complex(0.0, 1.0);
+    const HermEig e = jacobiEigHerm(h);
+    EXPECT_NEAR(e.values[0], -1.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(SimDiag, CommutingPairJointlyDiagonalized)
+{
+    // Build commuting symmetric matrices with shared eigenvectors and
+    // deliberately degenerate spectra in the first factor.
+    Rng rng(300);
+    const int n = 4;
+    // Random orthogonal V from QR of Gaussian via jacobi of symmetric.
+    RMat g(n, n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j <= i; ++j) {
+            const double v = rng.normal();
+            g(i, j) = v;
+            g(j, i) = v;
+        }
+    const RMat v = jacobiEigSym(g).vectors;
+
+    RMat da(n, n), db(n, n);
+    const double a_vals[4] = {1.0, 1.0, 2.0, 2.0}; // degenerate
+    const double b_vals[4] = {3.0, 4.0, 5.0, 6.0};
+    for (int i = 0; i < n; ++i) {
+        da(i, i) = a_vals[i];
+        db(i, i) = b_vals[i];
+    }
+    const RMat a = v * da * v.transpose();
+    const RMat b = v * db * v.transpose();
+
+    const RMat w = simultaneouslyDiagonalize(a, b);
+    EXPECT_LT((w.transpose() * w).maxAbsDiff(RMat::identity(n)), 1e-10);
+
+    const RMat wa = w.transpose() * a * w;
+    const RMat wb = w.transpose() * b * w;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            EXPECT_NEAR(wa(i, j), 0.0, 1e-9);
+            EXPECT_NEAR(wb(i, j), 0.0, 1e-9);
+        }
+}
+
+TEST(SimDiag, SymmetricUnitaryDiagonalization)
+{
+    // m = V diag(e^{i phi}) V^T with V special orthogonal is
+    // symmetric unitary; recover the factorization.
+    Rng rng(301);
+    RMat g(4, 4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j <= i; ++j) {
+            const double v = rng.normal();
+            g(i, j) = v;
+            g(j, i) = v;
+        }
+    const RMat v = jacobiEigSym(g).vectors;
+    const double phis[4] = {0.3, -1.2, 2.2, 0.0};
+    CMat m(4, 4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            Complex s{};
+            for (int k = 0; k < 4; ++k)
+                s += v(i, k) * std::exp(Complex(0.0, phis[k])) * v(j, k);
+            m(i, j) = s;
+        }
+
+    std::vector<Complex> d;
+    const RMat w = diagonalizeSymmetricUnitary(m, d);
+    // w orthogonal, det +1
+    EXPECT_LT((w.transpose() * w).maxAbsDiff(RMat::identity(4)), 1e-9);
+    // Diagonal entries unit modulus, reconstruct m.
+    CMat rec(4, 4);
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j) {
+            Complex s{};
+            for (int k = 0; k < 4; ++k)
+                s += w(i, k) * d[k] * w(j, k);
+            rec(i, j) = s;
+        }
+    EXPECT_LT(rec.maxAbsDiff(m), 1e-8);
+    for (const auto &dk : d)
+        EXPECT_NEAR(std::abs(dk), 1.0, 1e-9);
+}
+
+TEST(Expm, HermitianExponentialIsUnitary)
+{
+    Rng rng(400);
+    CMat h(5, 5);
+    for (int i = 0; i < 5; ++i) {
+        h(i, i) = rng.normal();
+        for (int j = 0; j < i; ++j) {
+            const Complex v(rng.normal(), rng.normal());
+            h(i, j) = v;
+            h(j, i) = std::conj(v);
+        }
+    }
+    const CMat u = expiHermitian(h, -0.7);
+    EXPECT_TRUE(u.isUnitary(1e-9));
+}
+
+TEST(Expm, MatchesClosedFormPauliZ)
+{
+    CMat h(2, 2);
+    h(0, 0) = 1.0;
+    h(1, 1) = -1.0;
+    const double t = 0.37;
+    const CMat u = expiHermitian(h, -t);
+    EXPECT_NEAR(std::abs(u(0, 0) - std::exp(Complex(0, -t))), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u(1, 1) - std::exp(Complex(0, t))), 0.0, 1e-12);
+}
+
+TEST(Expm, GroupProperty)
+{
+    Rng rng(401);
+    CMat h(3, 3);
+    for (int i = 0; i < 3; ++i) {
+        h(i, i) = rng.normal();
+        for (int j = 0; j < i; ++j) {
+            const Complex v(rng.normal(), rng.normal());
+            h(i, j) = v;
+            h(j, i) = std::conj(v);
+        }
+    }
+    const CMat u1 = expiHermitian(h, 0.3);
+    const CMat u2 = expiHermitian(h, 0.5);
+    const CMat u3 = expiHermitian(h, 0.8);
+    EXPECT_LT((u1 * u2).maxAbsDiff(u3), 1e-9);
+}
+
+TEST(Su2, PauliAlgebra)
+{
+    const Mat2 x = pauliX(), y = pauliY(), z = pauliZ();
+    EXPECT_LT((x * x).maxAbsDiff(Mat2::identity()), 1e-15);
+    EXPECT_LT((y * y).maxAbsDiff(Mat2::identity()), 1e-15);
+    EXPECT_LT((z * z).maxAbsDiff(Mat2::identity()), 1e-15);
+    // XY = iZ
+    EXPECT_LT((x * y).maxAbsDiff(z * kI), 1e-15);
+}
+
+TEST(Su2, RotationsMatchU3)
+{
+    // RY(theta) == U3(theta, 0, 0); RZ up to phase.
+    const double theta = 0.83;
+    EXPECT_LT(ry(theta).maxAbsDiff(u3(theta, 0.0, 0.0)), 1e-14);
+    const Mat2 rz_u3 = u3(0.0, 0.0, theta);
+    const Mat2 rz_m = rz(theta) * std::exp(kI * (theta / 2.0));
+    EXPECT_LT(rz_u3.maxAbsDiff(rz_m), 1e-14);
+}
+
+TEST(Su2, U3IsUnitary)
+{
+    Rng rng(500);
+    for (int i = 0; i < 50; ++i) {
+        const Mat2 u = u3(rng.uniform(0, kPi), rng.uniform(0, kTwoPi),
+                          rng.uniform(0, kTwoPi));
+        EXPECT_TRUE(u.isUnitary(1e-12));
+    }
+}
+
+TEST(Su2, U3AngleRoundTrip)
+{
+    Rng rng(501);
+    for (int i = 0; i < 200; ++i) {
+        const Mat2 u = randomSU2(rng);
+        const U3Angles a = toU3Angles(u);
+        const Mat2 rec =
+            u3(a.theta, a.phi, a.lambda) * std::exp(kI * a.alpha);
+        EXPECT_LT(rec.maxAbsDiff(u), 1e-10);
+    }
+}
+
+TEST(Su2, U3AngleRoundTripEdgeCases)
+{
+    for (const Mat2 &u : {Mat2::identity(), pauliX(), pauliZ(),
+                          pauliY(), hadamard(), rz(0.5), rx(kPi)}) {
+        const U3Angles a = toU3Angles(u);
+        const Mat2 rec =
+            u3(a.theta, a.phi, a.lambda) * std::exp(kI * a.alpha);
+        EXPECT_LT(rec.maxAbsDiff(u), 1e-10);
+    }
+}
+
+TEST(Su2, DerivativesMatchFiniteDifference)
+{
+    const double t = 0.7, p = 1.1, l = -0.4, h = 1e-6;
+    const Mat2 dth = du3DTheta(t, p, l);
+    const Mat2 fd_t =
+        (u3(t + h, p, l) - u3(t - h, p, l)) * Complex(1.0 / (2 * h));
+    EXPECT_LT(dth.maxAbsDiff(fd_t), 1e-8);
+
+    const Mat2 dph = du3DPhi(t, p, l);
+    const Mat2 fd_p =
+        (u3(t, p + h, l) - u3(t, p - h, l)) * Complex(1.0 / (2 * h));
+    EXPECT_LT(dph.maxAbsDiff(fd_p), 1e-8);
+
+    const Mat2 dla = du3DLambda(t, p, l);
+    const Mat2 fd_l =
+        (u3(t, p, l + h) - u3(t, p, l - h)) * Complex(1.0 / (2 * h));
+    EXPECT_LT(dla.maxAbsDiff(fd_l), 1e-8);
+}
+
+TEST(Factor, ExactTensorProductRecovered)
+{
+    Rng rng(600);
+    for (int i = 0; i < 100; ++i) {
+        const Mat2 a = randomSU2(rng);
+        const Mat2 b = randomSU2(rng);
+        const Complex ph = std::exp(Complex(0.0, rng.uniform(0, kTwoPi)));
+        const Mat4 m = Mat4::kron(a, b) * ph;
+        const TensorFactor f = factorTensorProduct(m);
+        EXPECT_LT(f.residual, 1e-10);
+        const Mat4 rec = Mat4::kron(f.a, f.b) * f.phase;
+        EXPECT_LT(rec.maxAbsDiff(m), 1e-10);
+        // Factors are special.
+        EXPECT_NEAR(std::abs(f.a.det() - Complex(1.0)), 0.0, 1e-10);
+        EXPECT_NEAR(std::abs(f.b.det() - Complex(1.0)), 0.0, 1e-10);
+    }
+}
+
+TEST(Factor, NonProductHasLargeResidual)
+{
+    // CNOT is not a tensor product.
+    Mat4 cnot;
+    cnot(0, 0) = 1.0;
+    cnot(1, 1) = 1.0;
+    cnot(2, 3) = 1.0;
+    cnot(3, 2) = 1.0;
+    const TensorFactor f = factorTensorProduct(cnot);
+    EXPECT_GT(f.residual, 0.1);
+}
+
+TEST(Random, Unitary4IsUnitary)
+{
+    Rng rng(700);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_TRUE(randomUnitary4(rng).isUnitary(1e-10));
+}
+
+TEST(Random, SU4HasUnitDet)
+{
+    Rng rng(701);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_NEAR(std::abs(randomSU4(rng).det() - Complex(1.0)), 0.0,
+                    1e-9);
+    }
+}
+
+TEST(Random, DynamicUnitary)
+{
+    Rng rng(702);
+    const CMat u = randomUnitary(9, rng);
+    EXPECT_TRUE(u.isUnitary(1e-10));
+}
+
+TEST(Random, TraceDistributionRoughlyHaar)
+{
+    // |Tr U|^2 averages to 1 under Haar on U(n).
+    Rng rng(703);
+    RunningStats s;
+    for (int i = 0; i < 4000; ++i) {
+        const Mat4 u = randomUnitary4(rng);
+        s.add(std::norm(u.trace()));
+    }
+    EXPECT_NEAR(s.mean(), 1.0, 0.1);
+}
+
+} // namespace
+} // namespace qbasis

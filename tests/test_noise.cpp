@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the coherence-limited fidelity models.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noise/coherence.hpp"
+
+namespace qbasis {
+namespace {
+
+TEST(Coherence, IdleSurvivalBasics)
+{
+    EXPECT_DOUBLE_EQ(idleSurvival(0.0, 80000.0), 1.0);
+    EXPECT_NEAR(idleSurvival(80000.0, 80000.0), std::exp(-1.0), 1e-12);
+    EXPECT_GT(idleSurvival(10.0, 80000.0), 0.999);
+}
+
+TEST(Coherence, GateErrorZeroAtZeroDuration)
+{
+    EXPECT_NEAR(coherenceLimitError(1, 0.0, 80000.0), 0.0, 1e-15);
+    EXPECT_NEAR(coherenceLimitError(2, 0.0, 80000.0), 0.0, 1e-15);
+}
+
+TEST(Coherence, TwoQubitErrorLinearSmallT)
+{
+    // err ~ 1.2 t/T for T1 = T2 = T at small t.
+    const double T = 80000.0;
+    for (double t : {10.0, 50.0, 100.0, 300.0}) {
+        const double err = coherenceLimitError(2, t, T);
+        EXPECT_NEAR(err, 1.2 * t / T, 0.02 * 1.2 * t / T) << t;
+    }
+}
+
+TEST(Coherence, PaperTableOneScale)
+{
+    // Paper Table I: a 10.15 ns basis gate has ~99.98x% fidelity and
+    // a 329.1 ns synthesized SWAP ~99.5x% at T = 80 us. Check we're
+    // in the same bands.
+    const double T = 80e3;
+    EXPECT_NEAR(1.0 - coherenceLimitError(2, 10.15, T), 0.99985,
+                2e-4);
+    EXPECT_NEAR(1.0 - coherenceLimitError(2, 329.1, T), 0.9951, 8e-4);
+}
+
+TEST(Coherence, OneQubitLessThanTwoQubit)
+{
+    const double T = 80000.0;
+    EXPECT_LT(coherenceLimitError(1, 100.0, T),
+              coherenceLimitError(2, 100.0, T));
+}
+
+TEST(Coherence, DistinctT1T2)
+{
+    // Pure dephasing limit (T1 -> inf) still decoheres.
+    const double err =
+        coherenceLimitError(1, 100.0, 1e12, 50000.0);
+    EXPECT_GT(err, 0.0);
+    // And slower than with amplitude damping too.
+    EXPECT_LT(err, coherenceLimitError(1, 100.0, 50000.0, 50000.0));
+}
+
+TEST(Coherence, RejectsBadQubitCount)
+{
+    EXPECT_THROW(coherenceLimitError(3, 1.0, 1.0, 1.0),
+                 std::runtime_error);
+}
+
+TEST(Coherence, CircuitFidelityMatchesPaperModel)
+{
+    // Two qubits busy [0, 100) and [50, 200); one untouched.
+    Circuit c(3);
+    c.unitary1q(0, Mat2::identity());
+    c.unitary1q(1, Mat2::identity());
+    Schedule s;
+    s.first_busy = {0.0, 50.0, -1.0};
+    s.last_busy = {100.0, 200.0, -1.0};
+    const double T = 80000.0;
+    const double f = circuitCoherenceFidelity(s, T);
+    EXPECT_NEAR(f, std::exp(-100.0 / T) * std::exp(-150.0 / T),
+                1e-12);
+}
+
+TEST(Coherence, FidelityDecreasesWithSpan)
+{
+    Schedule a;
+    a.first_busy = {0.0};
+    a.last_busy = {100.0};
+    Schedule b;
+    b.first_busy = {0.0};
+    b.last_busy = {1000.0};
+    EXPECT_GT(circuitCoherenceFidelity(a, 80000.0),
+              circuitCoherenceFidelity(b, 80000.0));
+}
+
+} // namespace
+} // namespace qbasis
