@@ -17,9 +17,11 @@
  * faster than Criterion 1's at a slightly slower SWAP.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "synth/engine.hpp"
 #include "util/table.hpp"
 #include "weyl/gates.hpp"
 
@@ -48,6 +50,7 @@ main()
 
     const SynthOptions synth;
     DecompositionCache cache_b, cache_1, cache_2;
+    const auto synth_t0 = std::chrono::steady_clock::now();
     const GateSetSummary sb =
         summarizeGateSet(device, baseline, cache_b, synth,
                          kOneQubitNs, kCoherenceNs);
@@ -55,6 +58,15 @@ main()
         device, crit1, cache_1, synth, kOneQubitNs, kCoherenceNs);
     const GateSetSummary s2 = summarizeGateSet(
         device, crit2, cache_2, synth, kOneQubitNs, kCoherenceNs);
+    const double synth_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - synth_t0)
+            .count();
+    std::printf("synthesis sweep: %.1f ms on %d engine threads, "
+                "%zu Weyl classes for %zu edge summaries\n",
+                synth_ms, SynthEngine::shared().threadCount(),
+                cache_b.size() + cache_1.size() + cache_2.size(),
+                3 * device.coupling().edges().size());
 
     TextTable table({"basis set", "basis (ns / fid)",
                      "SWAP (ns / fid)", "CNOT (ns / fid)"});

@@ -23,6 +23,7 @@
 #include "apps/qaoa.hpp"
 #include "apps/qft.hpp"
 #include "bench_common.hpp"
+#include "synth/engine.hpp"
 #include "util/table.hpp"
 
 using namespace qbasis;
@@ -121,13 +122,23 @@ main()
                 "0.006/5.59/8.56%%\n"
                 "  qaoa 0.33 10: 66.1/81.0/84.3%%  qaoa 0.33 20: "
                 "15.0/42.2/48.2%%\n");
-    std::printf("\nsynthesis cache: baseline %zu entries (%llu "
-                "hits), C1 %zu (%llu), C2 %zu (%llu)\n",
+    auto hit_rate = [](const DecompositionCache &c) {
+        const double total =
+            static_cast<double>(c.hits() + c.misses());
+        return total > 0.0 ? 100.0 * static_cast<double>(c.hits())
+                                 / total
+                           : 0.0;
+    };
+    std::printf("\nsynthesis cache (Weyl classes): baseline %zu "
+                "entries (%llu hits, %.1f%%), C1 %zu (%llu, %.1f%%), "
+                "C2 %zu (%llu, %.1f%%) on %d engine threads\n",
                 cache_b.size(),
                 static_cast<unsigned long long>(cache_b.hits()),
-                cache_1.size(),
+                hit_rate(cache_b), cache_1.size(),
                 static_cast<unsigned long long>(cache_1.hits()),
-                cache_2.size(),
-                static_cast<unsigned long long>(cache_2.hits()));
+                hit_rate(cache_1), cache_2.size(),
+                static_cast<unsigned long long>(cache_2.hits()),
+                hit_rate(cache_2),
+                SynthEngine::shared().threadCount());
     return 0;
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a synthesis-engine smoke run.
+#
+#   scripts/verify.sh [build-dir]
+#
+# Mirrors what CI runs: configure (warnings-as-errors on the library),
+# build everything, run the test suite, then a quick bench_synth pass
+# that checks engine/serial agreement and emits BENCH_synth.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+"$BUILD_DIR/bench_synth" --quick
+echo "verify: OK"

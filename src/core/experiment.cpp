@@ -4,6 +4,7 @@
 
 #include "circuit/schedule.hpp"
 #include "noise/coherence.hpp"
+#include "synth/engine.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 #include "weyl/gates.hpp"
@@ -91,6 +92,26 @@ summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
     RunningStats basis_fid, swap_fid, cnot_fid;
     RunningStats swap_layers, cnot_layers, oneq_share;
 
+    // Batch the whole device sweep (SWAP + CNOT per edge) through
+    // the engine: distinct Weyl classes synthesize in parallel,
+    // repeated basis gates collapse onto shared cache lines.
+    std::vector<SynthRequest> requests;
+    requests.reserve(2 * cm.edges().size());
+    for (size_t eid = 0; eid < cm.edges().size(); ++eid) {
+        SynthRequest swap_req;
+        swap_req.edge_id = static_cast<int>(eid);
+        swap_req.target = swapGate();
+        swap_req.basis = set.bases[eid].gate;
+        requests.push_back(swap_req);
+        SynthRequest cnot_req;
+        cnot_req.edge_id = static_cast<int>(eid);
+        cnot_req.target = cnotGate();
+        cnot_req.basis = set.bases[eid].gate;
+        requests.push_back(cnot_req);
+    }
+    const std::vector<TwoQubitDecomposition> decs =
+        SynthEngine::shared().synthesizeBatch(requests, cache, synth);
+
     for (size_t eid = 0; eid < cm.edges().size(); ++eid) {
         const EdgeBasis &eb = set.bases[eid];
         basis_ns.add(eb.duration_ns);
@@ -98,10 +119,8 @@ summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
                       - coherenceLimitError(2, eb.duration_ns,
                                             t_coherence_ns));
 
-        const TwoQubitDecomposition &swap_dec = cache.getOrSynthesize(
-            static_cast<int>(eid), swapGate(), eb.gate, synth);
-        const TwoQubitDecomposition &cnot_dec = cache.getOrSynthesize(
-            static_cast<int>(eid), cnotGate(), eb.gate, synth);
+        const TwoQubitDecomposition &swap_dec = decs[2 * eid];
+        const TwoQubitDecomposition &cnot_dec = decs[2 * eid + 1];
 
         const double swap_t =
             swap_dec.duration(eb.duration_ns, t_1q_ns);

@@ -88,6 +88,10 @@ struct GateSetSummary
  * Synthesize SWAP and CNOT on every calibrated edge and summarize
  * durations/fidelities (Table I).
  *
+ * The sweep is batched through SynthEngine::shared() (thread count
+ * from QBASIS_SYNTH_THREADS; set it to 1 to pin the sweep to a
+ * single worker -- results are bit-identical either way).
+ *
  * @param t_1q_ns       single-qubit gate duration (20 ns).
  * @param t_coherence_ns qubit coherence time (80 us).
  */

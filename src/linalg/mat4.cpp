@@ -230,6 +230,104 @@ Mat4::str(int precision) const
     return s;
 }
 
+void
+matmulInto(const Mat4 &a, const Mat4 &b, Mat4 &out)
+{
+    for (int i = 0; i < 4; ++i) {
+        Complex r0{}, r1{}, r2{}, r3{};
+        for (int k = 0; k < 4; ++k) {
+            const Complex aik = a(i, k);
+            r0 += aik * b(k, 0);
+            r1 += aik * b(k, 1);
+            r2 += aik * b(k, 2);
+            r3 += aik * b(k, 3);
+        }
+        out(i, 0) = r0;
+        out(i, 1) = r1;
+        out(i, 2) = r2;
+        out(i, 3) = r3;
+    }
+}
+
+void
+kronMulLeft(const Mat2 &a1, const Mat2 &a0, const Mat4 &m, Mat4 &out)
+{
+    // out(2i+k, c) = sum_j a1(i, j) * (sum_l a0(k, l) m(2j+l, c)).
+    // p[j][k][c] holds the inner contraction over the second qubit.
+    Complex p[2][2][4];
+    for (int j = 0; j < 2; ++j) {
+        for (int k = 0; k < 2; ++k) {
+            const Complex a0k0 = a0(k, 0);
+            const Complex a0k1 = a0(k, 1);
+            for (int c = 0; c < 4; ++c)
+                p[j][k][c] =
+                    a0k0 * m(2 * j, c) + a0k1 * m(2 * j + 1, c);
+        }
+    }
+    for (int i = 0; i < 2; ++i) {
+        const Complex a1i0 = a1(i, 0);
+        const Complex a1i1 = a1(i, 1);
+        for (int k = 0; k < 2; ++k) {
+            for (int c = 0; c < 4; ++c) {
+                out(2 * i + k, c) =
+                    a1i0 * p[0][k][c] + a1i1 * p[1][k][c];
+            }
+        }
+    }
+}
+
+void
+mulKronRight(const Mat4 &m, const Mat2 &a1, const Mat2 &a0, Mat4 &out)
+{
+    // out(r, 2j+l) = sum_i a1(i, j) * (sum_k m(r, 2i+k) a0(k, l)).
+    // q[r][i][l] holds the inner contraction over the second qubit.
+    Complex q[4][2][2];
+    for (int r = 0; r < 4; ++r) {
+        for (int i = 0; i < 2; ++i) {
+            const Complex m0 = m(r, 2 * i);
+            const Complex m1 = m(r, 2 * i + 1);
+            for (int l = 0; l < 2; ++l)
+                q[r][i][l] = m0 * a0(0, l) + m1 * a0(1, l);
+        }
+    }
+    for (int r = 0; r < 4; ++r) {
+        for (int j = 0; j < 2; ++j) {
+            for (int l = 0; l < 2; ++l) {
+                out(r, 2 * j + l) = a1(0, j) * q[r][0][l]
+                                    + a1(1, j) * q[r][1][l];
+            }
+        }
+    }
+}
+
+void
+kronTracePartialQ1(const Mat4 &g, const Mat2 &x0, Mat2 &s)
+{
+    for (int r1 = 0; r1 < 2; ++r1) {
+        for (int c1 = 0; c1 < 2; ++c1) {
+            Complex acc{};
+            for (int r0 = 0; r0 < 2; ++r0)
+                for (int c0 = 0; c0 < 2; ++c0)
+                    acc += g(2 * c1 + c0, 2 * r1 + r0) * x0(r0, c0);
+            s(r1, c1) = acc;
+        }
+    }
+}
+
+void
+kronTracePartialQ0(const Mat4 &g, const Mat2 &x1, Mat2 &s)
+{
+    for (int r0 = 0; r0 < 2; ++r0) {
+        for (int c0 = 0; c0 < 2; ++c0) {
+            Complex acc{};
+            for (int r1 = 0; r1 < 2; ++r1)
+                for (int c1 = 0; c1 < 2; ++c1)
+                    acc += g(2 * c1 + c0, 2 * r1 + r0) * x1(r1, c1);
+            s(r0, c0) = acc;
+        }
+    }
+}
+
 double
 traceInfidelity(const Mat4 &a, const Mat4 &b)
 {

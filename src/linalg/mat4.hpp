@@ -102,6 +102,61 @@ operator*(Complex s, const Mat4 &m)
  */
 double traceInfidelity(const Mat4 &a, const Mat4 &b);
 
+// ---------------------------------------------------------------------------
+// Allocation-free hot-path kernels for the synthesis objective.
+//
+// The multistart gradient descent evaluates millions of products of
+// the form (k1 (x) k0) * M and gradient traces Tr(G (x1 (x) x0));
+// these kernels fuse the Kronecker structure instead of materializing
+// 4x4 local operators, and write into caller-provided scratch so the
+// inner loop performs no allocation.
+// ---------------------------------------------------------------------------
+
+/**
+ * out = a * b without constructing a temporary. `out` must not alias
+ * `a` or `b`.
+ */
+void matmulInto(const Mat4 &a, const Mat4 &b, Mat4 &out);
+
+/**
+ * out = (a1 (x) a0) * m, fused over the 2x2 block structure (never
+ * builds the 4x4 Kronecker factor). `out` must not alias `m`.
+ */
+void kronMulLeft(const Mat2 &a1, const Mat2 &a0, const Mat4 &m,
+                 Mat4 &out);
+
+/**
+ * out = m * (a1 (x) a0), fused over the 2x2 block structure.
+ * `out` must not alias `m`.
+ */
+void mulKronRight(const Mat4 &m, const Mat2 &a1, const Mat2 &a0,
+                  Mat4 &out);
+
+/**
+ * Half-contraction of the gradient trace Tr(G (x1 (x) x0)) over the
+ * second-qubit factor: fills s with
+ *   s(r1, c1) = sum_{r0, c0} g(2 c1 + c0, 2 r1 + r0) * x0(r0, c0)
+ * so that Tr(G (x1 (x) x0)) = sum_{r1, c1} x1(r1, c1) * s(r1, c1).
+ * Amortizes the 4x4 contraction across the three U3 partial
+ * derivatives sharing one fixed x0.
+ */
+void kronTracePartialQ1(const Mat4 &g, const Mat2 &x0, Mat2 &s);
+
+/**
+ * Half-contraction over the first-qubit factor: fills s with
+ *   s(r0, c0) = sum_{r1, c1} g(2 c1 + c0, 2 r1 + r0) * x1(r1, c1)
+ * so that Tr(G (x1 (x) x0)) = sum_{r0, c0} x0(r0, c0) * s(r0, c0).
+ */
+void kronTracePartialQ0(const Mat4 &g, const Mat2 &x1, Mat2 &s);
+
+/** Element-wise (unconjugated) dot sum_{i,j} a(i,j) * b(i,j). */
+inline Complex
+mat2ElementDot(const Mat2 &a, const Mat2 &b)
+{
+    return a(0, 0) * b(0, 0) + a(0, 1) * b(0, 1) + a(1, 0) * b(1, 0)
+           + a(1, 1) * b(1, 1);
+}
+
 } // namespace qbasis
 
 #endif // QBASIS_LINALG_MAT4_HPP

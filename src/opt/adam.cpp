@@ -24,6 +24,8 @@ adamMinimize(const GradObjective &f, std::vector<double> x0,
 
     int iter = 0;
     for (; iter < opts.max_iters; ++iter) {
+        if (opts.should_stop && opts.should_stop())
+            break;
         const double fx = f(x, grad);
         if (fx < best.fval) {
             best.fval = fx;

@@ -23,6 +23,13 @@ struct AdamOptions
     double eps = 1e-9;      ///< Denominator regularizer.
     double target = -1e300; ///< Early stop when f <= target.
     double gtol = 1e-12;    ///< Gradient-norm convergence threshold.
+    /**
+     * Cooperative cancellation: polled once per iteration; when it
+     * returns true the optimizer returns its best iterate so far with
+     * converged = false. Used by the synthesis engine's first-success
+     * cancellation of losing restarts.
+     */
+    std::function<bool()> should_stop;
 };
 
 /**

@@ -41,6 +41,8 @@ lbfgsMinimize(const GradObjective &f, std::vector<double> x0,
 
     int iter = 0;
     for (; iter < opts.max_iters; ++iter) {
+        if (opts.should_stop && opts.should_stop())
+            break;
         if (fx <= opts.target) {
             best.converged = true;
             break;

@@ -25,6 +25,12 @@ struct LbfgsOptions
     double gtol = 1e-13;    ///< Gradient-norm stopping threshold.
     double c1 = 1e-4;       ///< Armijo sufficient-decrease constant.
     int max_backtracks = 30; ///< Line-search halvings.
+    /**
+     * Cooperative cancellation: polled once per outer iteration; when
+     * it returns true the optimizer returns its best iterate so far
+     * with converged = false (see AdamOptions::should_stop).
+     */
+    std::function<bool()> should_stop;
 };
 
 /** Minimize a gradient objective with L-BFGS. */

@@ -3,31 +3,114 @@
 
 /**
  * @file
- * Per-calibration-cycle decomposition cache (paper Section VII):
- * decompositions of common target gates into each edge's basis gate
- * are computed once and reused across every circuit compiled in the
- * cycle.
+ * Per-calibration-cycle decomposition cache (paper Section VII),
+ * keyed on Weyl equivalence classes.
+ *
+ * Synthesis cost depends on the target gate only through its
+ * canonical Cartan (Weyl-chamber) coordinates: if T and T' are
+ * locally equivalent, a decomposition of one differs from the other
+ * only in the outermost single-qubit layers. The cache therefore
+ * stores one synthesized decomposition per
+ *   (basis gate, synthesis options, quantized canonical coordinates)
+ * class -- the decomposition of the canonical gate CAN(c) itself --
+ * and re-dresses it per target with the exact local factors from
+ * canonicalKakDecompose(). All CPhase(theta) instances recurring
+ * across QFT/QAOA edges, both orientations of every gate, and any
+ * locally-dressed variant hit the same cache line.
+ *
+ * Folding the basis gate and options into the key also fixes the
+ * stale-decomposition bug the raw (edge, target-hash) key had: after
+ * a drift/recalibration cycle changes an edge's basis gate, lookups
+ * miss instead of silently returning decompositions for the old
+ * basis.
  */
 
 #include <cstdint>
 #include <map>
-#include <utility>
 
 #include "synth/numerical.hpp"
+#include "weyl/kak.hpp"
 
 namespace qbasis {
 
-/** Cache of (edge, target-gate) -> decomposition. */
+/** Cache of Weyl-class -> decomposition of the canonical gate. */
 class DecompositionCache
 {
   public:
+    /** Identifier of one synthesis equivalence class. */
+    struct ClassKey
+    {
+        uint64_t context; ///< Basis-gate (+) synthesis-options hash.
+        int64_t qx, qy, qz; ///< Canonical coords / kCoordQuantum.
+
+        bool
+        operator<(const ClassKey &o) const
+        {
+            if (context != o.context)
+                return context < o.context;
+            if (qx != o.qx)
+                return qx < o.qx;
+            if (qy != o.qy)
+                return qy < o.qy;
+            return qz != o.qz ? qz < o.qz : false;
+        }
+    };
+
     /**
-     * Return the cached decomposition of `target` into `basis` for
-     * the given edge, synthesizing and inserting it on first use.
+     * Canonical-coordinate quantization step for class keys. The
+     * class decomposition is synthesized for CAN at the *quantized*
+     * coordinates, so re-dressing a target whose exact coordinates
+     * sit anywhere in the bin adds at most O(kCoordQuantum^2) ~ 1e-16
+     * trace infidelity -- far below every synthesis tolerance used
+     * here. (Targets jittering across a bin edge merely synthesize
+     * twice; correctness is unaffected.)
      */
-    const TwoQubitDecomposition &
-    getOrSynthesize(int edge_id, const Mat4 &target, const Mat4 &basis,
-                    const SynthOptions &opts = {});
+    static constexpr double kCoordQuantum = 1e-8;
+
+    /**
+     * Return the decomposition of `target` into `basis`, synthesizing
+     * the target's Weyl class on first use and re-dressing the class
+     * decomposition with the target's own local factors.
+     *
+     * `edge_id` no longer participates in the key (the basis hash
+     * subsumes it); it is kept for call-site compatibility and
+     * diagnostics.
+     */
+    TwoQubitDecomposition getOrSynthesize(int edge_id,
+                                          const Mat4 &target,
+                                          const Mat4 &basis,
+                                          const SynthOptions &opts = {});
+
+    // -- Class-level interface (used by SynthEngine) ----------------
+
+    /** Key of the class with the given canonical coordinates. */
+    static ClassKey classKey(const CartanCoords &canonical,
+                             const Mat4 &basis,
+                             const SynthOptions &opts);
+
+    /** The canonical gate CAN(c) at the key's quantized coords. */
+    static Mat4 classGate(const ClassKey &key);
+
+    /** Look up a class without touching the hit/miss counters.
+     *  Pointers stay valid until clear(). */
+    const TwoQubitDecomposition *peekClass(const ClassKey &key) const;
+
+    /** Insert a synthesized class decomposition (counts one miss). */
+    void storeClass(const ClassKey &key, TwoQubitDecomposition dec);
+
+    /** Credit `n` batched lookups that were served from classes
+     *  already present (or just stored) -- keeps engine-batch counter
+     *  semantics identical to the serial lookup loop. */
+    void noteHits(uint64_t n) { hits_ += n; }
+
+    /**
+     * Re-dress a class decomposition for a concrete target:
+     * graft the target's KAK local factors onto the outermost local
+     * layers and recompute phase + exact infidelity against `target`.
+     */
+    static TwoQubitDecomposition dressClassDecomposition(
+        const TwoQubitDecomposition &cls, const CanonicalKak &kak,
+        const Mat4 &target);
 
     /** Number of cache hits so far. */
     uint64_t hits() const { return hits_; }
@@ -35,7 +118,7 @@ class DecompositionCache
     /** Number of synthesis calls (misses) so far. */
     uint64_t misses() const { return misses_; }
 
-    /** Number of stored decompositions. */
+    /** Number of stored class decompositions. */
     size_t size() const { return cache_.size(); }
 
     /** Drop all entries (start of a new calibration cycle). */
@@ -47,8 +130,11 @@ class DecompositionCache
      */
     static uint64_t hashGate(const Mat4 &m);
 
+    /** Content hash of the synthesis options that affect results. */
+    static uint64_t hashOptions(const SynthOptions &opts);
+
   private:
-    std::map<std::pair<int, uint64_t>, TwoQubitDecomposition> cache_;
+    std::map<ClassKey, TwoQubitDecomposition> cache_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
 };

@@ -1,0 +1,319 @@
+#include "synth/engine.hpp"
+
+#include <atomic>
+#include <climits>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "monodromy/depth.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/** Result slot of one restart in the current wave. */
+struct RestartSlot
+{
+    std::vector<double> params;
+    double infidelity = 1.0;
+    bool aborted = false;
+};
+
+/** One Weyl-class synthesis running through depth waves. */
+struct ClassJob
+{
+    DecompositionCache::ClassKey key{};
+    Mat4 class_gate;
+    Mat4 basis;
+    std::vector<Mat4> layers; ///< Current wave's layer sequence.
+    int depth = 1;
+
+    std::vector<RestartSlot> slots;
+    std::atomic<int> remaining{0};
+    /** Smallest restart index that reached the target; restarts with
+     *  a larger index may cancel (smaller ones must finish, which is
+     *  what keeps the winner independent of scheduling). */
+    std::atomic<int> min_success{INT_MAX};
+
+    // Best-so-far across completed (failed) waves.
+    double best_infidelity = 1.0;
+    std::vector<double> best_params;
+    int best_depth = 0;
+
+    TwoQubitDecomposition result;
+    std::exception_ptr error;
+};
+
+/** Shared completion state of one synthesizeBatch() call. */
+struct BatchState
+{
+    ThreadPool &pool;
+    const SynthOptions &opts;
+    size_t jobs_remaining = 0; ///< Guarded by `mutex`.
+    std::mutex mutex;
+    std::condition_variable done_cv;
+
+    BatchState(ThreadPool &p, const SynthOptions &o) : pool(p), opts(o)
+    {
+    }
+
+    void
+    finishJob()
+    {
+        // Decrement under the lock: the waiter's predicate also runs
+        // under it, so it cannot observe zero (and destroy this
+        // stack-allocated state) while a worker is still between the
+        // decrement and the notify.
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--jobs_remaining == 0)
+            done_cv.notify_all();
+    }
+
+    void
+    recordError(ClassJob &job)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!job.error)
+            job.error = std::current_exception();
+    }
+
+    void runRestart(ClassJob &job, int restart);
+    void launchWave(ClassJob &job);
+    void reduceWave(ClassJob &job);
+    void startJob(ClassJob &job);
+};
+
+void
+BatchState::launchWave(ClassJob &job)
+{
+    const int restarts = opts.restarts;
+    job.slots.assign(static_cast<size_t>(restarts), RestartSlot{});
+    job.min_success.store(INT_MAX);
+    job.remaining.store(restarts);
+    int submitted = 0;
+    try {
+        for (int r = 0; r < restarts; ++r) {
+            pool.submit([this, &job, r] { runRestart(job, r); });
+            ++submitted;
+        }
+    } catch (...) {
+        // Submission failed partway (e.g. allocation): the job must
+        // not finish while already-submitted restarts still run.
+        // Account for the never-submitted ones; whichever side takes
+        // `remaining` to zero performs the (error-aware) reduction.
+        recordError(job);
+        const int missing = restarts - submitted;
+        if (job.remaining.fetch_sub(missing) == missing)
+            reduceWave(job);
+    }
+}
+
+void
+BatchState::runRestart(ClassJob &job, int restart)
+{
+    try {
+        const auto should_stop = [&job, restart] {
+            return job.min_success.load(std::memory_order_relaxed)
+                   < restart;
+        };
+        SynthRestartResult res = synthesizeRestart(
+            job.class_gate, job.layers,
+            synthRestartSeed(opts.seed, job.layers.size(), restart),
+            opts, should_stop);
+
+        RestartSlot &slot = job.slots[static_cast<size_t>(restart)];
+        slot.params = std::move(res.params);
+        slot.infidelity = res.infidelity;
+        slot.aborted = res.aborted;
+
+        if (!slot.aborted
+            && slot.infidelity <= opts.target_infidelity) {
+            int cur = job.min_success.load();
+            while (restart < cur
+                   && !job.min_success.compare_exchange_weak(cur,
+                                                             restart)) {
+            }
+        }
+    } catch (...) {
+        recordError(job);
+    }
+    if (job.remaining.fetch_sub(1) == 1)
+        reduceWave(job);
+}
+
+void
+BatchState::reduceWave(ClassJob &job)
+{
+    try {
+        if (job.error) {
+            finishJob();
+            return;
+        }
+
+        // First successful restart in index order wins (identical to
+        // the serial early-break rule).
+        for (size_t r = 0; r < job.slots.size(); ++r) {
+            const RestartSlot &slot = job.slots[r];
+            if (!slot.aborted
+                && slot.infidelity <= opts.target_infidelity) {
+                job.result = assembleDecomposition(
+                    job.class_gate, job.layers, slot.params,
+                    slot.infidelity);
+                finishJob();
+                return;
+            }
+        }
+
+        // Failed wave: fold into the cross-depth best (strict-less
+        // with earliest-index tie-break, matching the serial loop).
+        for (size_t r = 0; r < job.slots.size(); ++r) {
+            RestartSlot &slot = job.slots[r];
+            if (!slot.aborted
+                && slot.infidelity < job.best_infidelity) {
+                job.best_infidelity = slot.infidelity;
+                job.best_params = std::move(slot.params);
+                job.best_depth = job.depth;
+            }
+        }
+
+        if (job.depth < opts.max_layers) {
+            ++job.depth;
+            job.layers.assign(static_cast<size_t>(job.depth),
+                              job.basis);
+            launchWave(job);
+            return;
+        }
+
+        if (job.best_params.empty())
+            panic("synthesis produced no candidate parameters");
+        warn("SynthEngine: target not reached (best infidelity %.3e "
+             "at %d layers)", job.best_infidelity, job.best_depth);
+        job.layers.assign(static_cast<size_t>(job.best_depth),
+                          job.basis);
+        job.result = assembleDecomposition(job.class_gate, job.layers,
+                                           job.best_params,
+                                           job.best_infidelity);
+        finishJob();
+    } catch (...) {
+        recordError(job);
+        finishJob();
+    }
+}
+
+void
+BatchState::startJob(ClassJob &job)
+{
+    try {
+        int start = 1;
+        if (opts.use_depth_prediction) {
+            start = predictDepth(job.class_gate, job.basis,
+                                 opts.max_layers, opts.oracle);
+            if (start == 0) {
+                job.result = synthesizeLocalTarget(job.class_gate);
+                finishJob();
+                return;
+            }
+            if (start > opts.max_layers)
+                start = opts.max_layers; // best effort at the cap
+        }
+        job.depth = start;
+        job.layers.assign(static_cast<size_t>(start), job.basis);
+        launchWave(job);
+    } catch (...) {
+        recordError(job);
+        finishJob();
+    }
+}
+
+} // namespace
+
+SynthEngine::SynthEngine(int threads) : pool_(threads) {}
+
+SynthEngine &
+SynthEngine::shared()
+{
+    static SynthEngine engine = [] {
+        int threads = 0;
+        if (const char *env = std::getenv("QBASIS_SYNTH_THREADS")) {
+            threads = std::atoi(env);
+            if (threads < 0)
+                threads = 0;
+        }
+        return SynthEngine(threads);
+    }();
+    return engine;
+}
+
+std::vector<TwoQubitDecomposition>
+SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
+                             DecompositionCache &cache,
+                             const SynthOptions &opts)
+{
+    const size_t n = requests.size();
+    std::vector<TwoQubitDecomposition> results(n);
+    if (n == 0)
+        return results;
+
+    // Phase 1: canonical KAK of every target (embarrassingly
+    // parallel; deterministic because results land in per-index
+    // slots).
+    std::vector<CanonicalKak> kaks(n);
+    pool_.parallelFor(n, [&](size_t i) {
+        kaks[i] = canonicalKakDecompose(requests[i].target);
+    });
+
+    // Phase 2: dedupe into class jobs, in request order so job
+    // indices (and therefore cache insertion order) are deterministic.
+    std::vector<DecompositionCache::ClassKey> keys(n);
+    std::set<DecompositionCache::ClassKey> scheduled;
+    std::vector<std::unique_ptr<ClassJob>> jobs;
+    BatchState state(pool_, opts);
+    for (size_t i = 0; i < n; ++i) {
+        keys[i] = DecompositionCache::classKey(kaks[i].coords,
+                                               requests[i].basis, opts);
+        if (cache.peekClass(keys[i]) || !scheduled.insert(keys[i]).second)
+            continue;
+        auto job = std::make_unique<ClassJob>();
+        job->key = keys[i];
+        job->class_gate = DecompositionCache::classGate(keys[i]);
+        job->basis = requests[i].basis;
+        jobs.push_back(std::move(job));
+    }
+
+    // Phase 3: run all jobs to completion on the pool.
+    if (!jobs.empty()) {
+        state.jobs_remaining = jobs.size();
+        for (auto &job : jobs) {
+            ClassJob *j = job.get();
+            pool_.submit([&state, j] { state.startJob(*j); });
+        }
+        std::unique_lock<std::mutex> lock(state.mutex);
+        state.done_cv.wait(
+            lock, [&state] { return state.jobs_remaining == 0; });
+        for (const auto &job : jobs) {
+            if (job->error)
+                std::rethrow_exception(job->error);
+        }
+        // Insert in job order (= first-appearance order) so cache
+        // contents never depend on completion order.
+        for (auto &job : jobs)
+            cache.storeClass(job->key, std::move(job->result));
+    }
+    cache.noteHits(n - jobs.size());
+
+    // Phase 4: dress every request from its class decomposition.
+    pool_.parallelFor(n, [&](size_t i) {
+        const TwoQubitDecomposition *cls = cache.peekClass(keys[i]);
+        if (cls == nullptr)
+            panic("SynthEngine: class missing after batch");
+        results[i] = DecompositionCache::dressClassDecomposition(
+            *cls, kaks[i], requests[i].target);
+    });
+    return results;
+}
+
+} // namespace qbasis

@@ -1,0 +1,80 @@
+#ifndef QBASIS_SYNTH_ENGINE_HPP
+#define QBASIS_SYNTH_ENGINE_HPP
+
+/**
+ * @file
+ * Parallel two-qubit synthesis engine.
+ *
+ * The engine batches every synthesis job of a compilation pass (all
+ * 2Q gates of a circuit, or all SWAP/CNOT summaries of a device
+ * sweep), dedupes them through the Weyl-class cache, and fans the
+ * remaining class syntheses over a work-stealing thread pool:
+ *
+ *  - one *job* per distinct (basis, options, canonical-coords) class;
+ *  - per job, a *wave* of multistart restarts at the current depth
+ *    runs concurrently, each restart on its own splitmix-derived RNG
+ *    stream;
+ *  - the first restart (in index order) that reaches the target
+ *    infidelity wins; restarts with larger indices are cooperatively
+ *    cancelled (lower indices run to completion so the winner never
+ *    depends on thread timing);
+ *  - if a wave fails, the job advances one depth and launches the
+ *    next wave (waves of different jobs interleave freely).
+ *
+ * Results are bit-identical to the serial path for a fixed seed,
+ * independent of thread count and completion order: restart streams
+ * are derived (not shared), selection is by index rather than by
+ * completion time, and cache insertion happens in submission order.
+ */
+
+#include <vector>
+
+#include "synth/cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace qbasis {
+
+/** One two-qubit synthesis request (a target gate against a basis). */
+struct SynthRequest
+{
+    int edge_id = -1; ///< Originating device edge (diagnostics only).
+    Mat4 target;      ///< Gate to decompose.
+    Mat4 basis;       ///< Edge basis gate to decompose into.
+};
+
+/** Thread-pooled batch synthesizer. */
+class SynthEngine
+{
+  public:
+    /** Create an engine with its own pool; 0 threads = hardware. */
+    explicit SynthEngine(int threads = 0);
+
+    /**
+     * Synthesize every request, using and filling `cache`.
+     *
+     * Returns one decomposition per request, in request order. The
+     * cache's hit/miss counters advance exactly as if the requests
+     * had been looked up serially in order.
+     */
+    std::vector<TwoQubitDecomposition>
+    synthesizeBatch(const std::vector<SynthRequest> &requests,
+                    DecompositionCache &cache,
+                    const SynthOptions &opts);
+
+    /** Worker threads in the pool. */
+    int threadCount() const { return pool_.size(); }
+
+    /**
+     * Process-wide engine sized from QBASIS_SYNTH_THREADS (or the
+     * hardware concurrency when unset); shared by the transpiler and
+     * the experiment drivers.
+     */
+    static SynthEngine &shared();
+
+  private:
+    ThreadPool pool_;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_SYNTH_ENGINE_HPP

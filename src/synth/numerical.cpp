@@ -8,6 +8,7 @@
 #include "opt/adam.hpp"
 #include "opt/lbfgs.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "weyl/cartan.hpp"
 
 namespace qbasis {
@@ -21,48 +22,44 @@ namespace {
  * (theta, phi, lambda for qubit 1, then for qubit 0), n+1 layers.
  * The 2Q layer gates may differ per layer (heterogeneous sequences,
  * e.g. a gate and its SWAP mirror).
+ *
+ * All intermediates live in scratch buffers sized at construction, so
+ * valueAndGrad performs no allocation: one objective instance is the
+ * whole per-restart working set, and every product uses the fused
+ * Kronecker kernels from linalg/mat4.hpp instead of materializing
+ * 4x4 local operators.
  */
 class SynthObjective
 {
   public:
-    SynthObjective(const Mat4 &target, std::vector<Mat4> layers)
-        : target_dag_(target.dagger()), layers_(std::move(layers)),
-          n_(static_cast<int>(layers_.size()))
+    SynthObjective(const Mat4 &target, const std::vector<Mat4> &layers)
+        : target_dag_(target.dagger()), layers_(layers),
+          n_(static_cast<int>(layers.size())), right_(n_ + 1),
+          bright_(n_ + 1), u1_(n_ + 1), u0_(n_ + 1)
     {
     }
 
     int paramCount() const { return 6 * (n_ + 1); }
 
-    /** V = K_n B_n ... B_1 K_0 for the given parameters. */
-    Mat4
-    build(const std::vector<double> &p) const
-    {
-        Mat4 v = localLayer(p, 0);
-        for (int j = 1; j <= n_; ++j)
-            v = localLayer(p, j) * (layers_[j - 1] * v);
-        return v;
-    }
-
-    double
-    value(const std::vector<double> &p) const
-    {
-        return infidelity(build(p));
-    }
-
     /** Objective value and analytic gradient. */
     double
     valueAndGrad(const std::vector<double> &p,
-                 std::vector<double> &grad) const
+                 std::vector<double> &grad)
     {
         // Forward pass with right partial products:
-        // right[j] = K_j B_j K_{j-1} ... K_0 (after applying K_j).
-        std::vector<Mat4> right(n_ + 1);
-        right[0] = localLayer(p, 0);
-        for (int j = 1; j <= n_; ++j) {
-            right[j] =
-                localLayer(p, j) * (layers_[j - 1] * right[j - 1]);
+        //   bright[j] = B_j K_{j-1} ... K_0,
+        //   right[j]  = K_j bright[j]   (so right[n] = V).
+        for (int j = 0; j <= n_; ++j) {
+            const double *a = &p[6 * j];
+            u1_[j] = u3(a[0], a[1], a[2]);
+            u0_[j] = u3(a[3], a[4], a[5]);
         }
-        const Mat4 &v = right[n_];
+        right_[0] = Mat4::kron(u1_[0], u0_[0]);
+        for (int j = 1; j <= n_; ++j) {
+            matmulInto(layers_[j - 1], right_[j - 1], bright_[j]);
+            kronMulLeft(u1_[j], u0_[j], bright_[j], right_[j]);
+        }
+        const Mat4 &v = right_[n_];
 
         Complex tr{};
         for (int i = 0; i < 4; ++i)
@@ -70,50 +67,30 @@ class SynthObjective
                 tr += target_dag_(i, k) * v(k, i);
         const double f = 1.0 - std::norm(tr) / 16.0;
 
-        // Backward pass: left[j] = K_n B ... B (up to, excluding K_j).
+        // Backward pass: left = K_n B ... B (up to, excluding K_j).
         // G_j = (right-of-K_j) T^dag (left-of-K_j), so that
         // dTr/dp = Tr(G_j dK_j/dp).
-        Mat4 left = Mat4::identity();
+        left_ = Mat4::identity();
         for (int j = n_; j >= 0; --j) {
-            // right-of-K_j = B K_{j-1} ... K_0 = right[j] with K_j
-            // stripped; easier: right_excl = (K_j)^-1 right[j], but
-            // we can use right[j-1] and the basis factor directly.
-            Mat4 right_excl;
+            matmulInto(target_dag_, left_, tdl_);
             if (j == 0)
-                right_excl = Mat4::identity();
+                g_ = tdl_;
             else
-                right_excl = layers_[j - 1] * right[j - 1];
+                matmulInto(bright_[j], tdl_, g_);
 
-            const Mat4 g = right_excl * target_dag_ * left;
+            // Half-contract the trace against the fixed factor once,
+            // then each of the six U3 partials costs a 4-term dot.
+            kronTracePartialQ1(g_, u0_[j], s1_);
+            kronTracePartialQ0(g_, u1_[j], s0_);
 
-            // Gradient w.r.t. the six angles of layer j.
             const double *a = &p[6 * j];
-            const Mat2 u1 = u3(a[0], a[1], a[2]);
-            const Mat2 u0 = u3(a[3], a[4], a[5]);
-            const Mat2 d1t = du3DTheta(a[0], a[1], a[2]);
-            const Mat2 d1p = du3DPhi(a[0], a[1], a[2]);
-            const Mat2 d1l = du3DLambda(a[0], a[1], a[2]);
-            const Mat2 d0t = du3DTheta(a[3], a[4], a[5]);
-            const Mat2 d0p = du3DPhi(a[3], a[4], a[5]);
-            const Mat2 d0l = du3DLambda(a[3], a[4], a[5]);
-
-            auto trace_with = [&g](const Mat2 &x1, const Mat2 &x0) {
-                // Tr(G (x1 kron x0)).
-                Complex s{};
-                for (int r1 = 0; r1 < 2; ++r1)
-                    for (int c1 = 0; c1 < 2; ++c1)
-                        for (int r0 = 0; r0 < 2; ++r0)
-                            for (int c0 = 0; c0 < 2; ++c0) {
-                                s += g(2 * c1 + c0, 2 * r1 + r0)
-                                     * x1(r1, c1) * x0(r0, c0);
-                            }
-                return s;
-            };
-
             const Complex dtr[6] = {
-                trace_with(d1t, u0), trace_with(d1p, u0),
-                trace_with(d1l, u0), trace_with(u1, d0t),
-                trace_with(u1, d0p), trace_with(u1, d0l),
+                mat2ElementDot(du3DTheta(a[0], a[1], a[2]), s1_),
+                mat2ElementDot(du3DPhi(a[0], a[1], a[2]), s1_),
+                mat2ElementDot(du3DLambda(a[0], a[1], a[2]), s1_),
+                mat2ElementDot(du3DTheta(a[3], a[4], a[5]), s0_),
+                mat2ElementDot(du3DPhi(a[3], a[4], a[5]), s0_),
+                mat2ElementDot(du3DLambda(a[3], a[4], a[5]), s0_),
             };
             for (int k = 0; k < 6; ++k) {
                 grad[6 * j + k] =
@@ -122,39 +99,81 @@ class SynthObjective
 
             // Extend the left product to include K_j (and the basis
             // gate separating it from layer j-1).
-            left = left * localLayer(p, j);
+            mulKronRight(left_, u1_[j], u0_[j], tmp_);
             if (j > 0)
-                left = left * layers_[j - 1];
+                matmulInto(tmp_, layers_[j - 1], left_);
+            else
+                left_ = tmp_;
         }
         return f;
     }
 
-    double
-    infidelity(const Mat4 &v) const
-    {
-        Complex tr{};
-        for (int i = 0; i < 4; ++i)
-            for (int k = 0; k < 4; ++k)
-                tr += target_dag_(i, k) * v(k, i);
-        return 1.0 - std::norm(tr) / 16.0;
-    }
-
-    Mat4
-    localLayer(const std::vector<double> &p, int j) const
-    {
-        const double *a = &p[6 * j];
-        return Mat4::kron(u3(a[0], a[1], a[2]), u3(a[3], a[4], a[5]));
-    }
-
   private:
     Mat4 target_dag_;
-    std::vector<Mat4> layers_;
+    const std::vector<Mat4> &layers_;
     int n_;
+    // Scratch (see class comment).
+    std::vector<Mat4> right_, bright_;
+    std::vector<Mat2> u1_, u0_;
+    Mat4 left_, tdl_, g_, tmp_;
+    Mat2 s1_, s0_;
 };
 
+} // namespace
+
+uint64_t
+synthRestartSeed(uint64_t base_seed, size_t depth, int restart)
+{
+    return Rng::deriveSeed(Rng::deriveSeed(base_seed, depth),
+                           static_cast<uint64_t>(restart));
+}
+
+SynthRestartResult
+synthesizeRestart(const Mat4 &target, const std::vector<Mat4> &layers,
+                  uint64_t stream_seed, const SynthOptions &opts,
+                  const std::function<bool()> &should_stop)
+{
+    SynthObjective obj(target, layers);
+    Rng rng(stream_seed);
+    std::vector<double> x0(obj.paramCount());
+    for (double &v : x0)
+        v = rng.uniform(-kPi, kPi);
+
+    const auto grad_obj = [&obj](const std::vector<double> &x,
+                                 std::vector<double> &g) {
+        return obj.valueAndGrad(x, g);
+    };
+
+    // Coarse global descent with Adam (robust against the many
+    // saddle points), then a superlinear L-BFGS endgame (Adam's
+    // fixed-lr bounce floor sits around lr^2 and cannot certify
+    // the ~1e-12 infidelities expected at feasible depths).
+    AdamOptions adam;
+    adam.max_iters = opts.adam_iters;
+    adam.lr = 0.1;
+    adam.target = opts.target_infidelity * 0.1;
+    adam.should_stop = should_stop;
+    OptResult ares = adamMinimize(grad_obj, std::move(x0), adam);
+
+    LbfgsOptions lbfgs;
+    lbfgs.max_iters = opts.polish_iters;
+    lbfgs.target = adam.target;
+    lbfgs.should_stop = should_stop;
+    OptResult pres = lbfgsMinimize(grad_obj, std::move(ares.x), lbfgs);
+
+    // L-BFGS tracks the best iterate including its start point, so
+    // pres is never worse than ares.
+    SynthRestartResult out;
+    out.params = std::move(pres.x);
+    out.infidelity = pres.fval;
+    out.aborted = should_stop && should_stop();
+    return out;
+}
+
 TwoQubitDecomposition
-assemble(const Mat4 &target, const std::vector<Mat4> &basis_layers,
-         const std::vector<double> &p, double infid)
+assembleDecomposition(const Mat4 &target,
+                      const std::vector<Mat4> &basis_layers,
+                      const std::vector<double> &params, double infid)
 {
     const int layers = static_cast<int>(basis_layers.size());
     TwoQubitDecomposition d;
@@ -162,7 +181,7 @@ assemble(const Mat4 &target, const std::vector<Mat4> &basis_layers,
     d.basis = basis_layers;
     d.locals.resize(layers + 1);
     for (int j = 0; j <= layers; ++j) {
-        const double *a = &p[6 * j];
+        const double *a = &params[6 * j];
         d.locals[j].q1 = u3(a[0], a[1], a[2]);
         d.locals[j].q0 = u3(a[3], a[4], a[5]);
     }
@@ -177,9 +196,8 @@ assemble(const Mat4 &target, const std::vector<Mat4> &basis_layers,
     return d;
 }
 
-/** Zero-layer case: the target must be (approximately) local. */
 TwoQubitDecomposition
-synthesizeLocal(const Mat4 &target)
+synthesizeLocalTarget(const Mat4 &target)
 {
     const TensorFactor f = factorTensorProduct(target);
     TwoQubitDecomposition d;
@@ -191,56 +209,30 @@ synthesizeLocal(const Mat4 &target)
     return d;
 }
 
-} // namespace
-
 TwoQubitDecomposition
 synthesizeGateSequence(const Mat4 &target,
                        const std::vector<Mat4> &layers,
                        const SynthOptions &opts)
 {
     if (layers.empty())
-        return synthesizeLocal(target);
+        return synthesizeLocalTarget(target);
 
-    const SynthObjective obj(target, layers);
-    const int dim = obj.paramCount();
-
-    Rng rng(opts.seed + layers.size() * 7919);
-
+    // Serial multistart over independently seeded restart streams.
+    // Selection takes the first restart (in index order) that reaches
+    // the target, else the best infidelity with earliest-index
+    // tie-break -- the same deterministic rule the parallel engine
+    // applies, so both produce bit-identical decompositions.
     TwoQubitDecomposition best;
     best.infidelity = 1.0;
     std::vector<double> best_p;
 
     for (int r = 0; r < opts.restarts; ++r) {
-        std::vector<double> x0(dim);
-        for (double &v : x0)
-            v = rng.uniform(-kPi, kPi);
-
-        const auto grad_obj = [&obj](const std::vector<double> &x,
-                                     std::vector<double> &g) {
-            return obj.valueAndGrad(x, g);
-        };
-
-        // Coarse global descent with Adam (robust against the many
-        // saddle points), then a superlinear L-BFGS endgame (Adam's
-        // fixed-lr bounce floor sits around lr^2 and cannot certify
-        // the ~1e-12 infidelities expected at feasible depths).
-        AdamOptions adam;
-        adam.max_iters = opts.adam_iters;
-        adam.lr = 0.1;
-        adam.target = opts.target_infidelity * 0.1;
-        OptResult ares = adamMinimize(grad_obj, std::move(x0), adam);
-
-        LbfgsOptions lbfgs;
-        lbfgs.max_iters = opts.polish_iters;
-        lbfgs.target = adam.target;
-        const OptResult pres = lbfgsMinimize(grad_obj, ares.x, lbfgs);
-
-        const std::vector<double> &px =
-            pres.fval < ares.fval ? pres.x : ares.x;
-        const double pf = std::min(pres.fval, ares.fval);
-        if (pf < best.infidelity) {
-            best_p = px;
-            best.infidelity = pf;
+        SynthRestartResult res = synthesizeRestart(
+            target, layers,
+            synthRestartSeed(opts.seed, layers.size(), r), opts);
+        if (res.infidelity < best.infidelity) {
+            best_p = std::move(res.params);
+            best.infidelity = res.infidelity;
         }
         if (best.infidelity <= opts.target_infidelity)
             break;
@@ -248,7 +240,8 @@ synthesizeGateSequence(const Mat4 &target,
 
     if (best_p.empty())
         panic("synthesis produced no candidate parameters");
-    return assemble(target, layers, best_p, best.infidelity);
+    return assembleDecomposition(target, layers, best_p,
+                                 best.infidelity);
 }
 
 TwoQubitDecomposition
@@ -270,7 +263,7 @@ synthesizeGate(const Mat4 &target, const Mat4 &basis,
         start = predictDepth(target, basis, opts.max_layers,
                              opts.oracle);
         if (start == 0)
-            return synthesizeLocal(target);
+            return synthesizeLocalTarget(target);
         if (start > opts.max_layers)
             start = opts.max_layers; // best effort at the cap
     }

@@ -14,6 +14,8 @@
  * depth-optimal results.
  */
 
+#include <functional>
+
 #include "monodromy/oracle.hpp"
 #include "synth/decomposition.hpp"
 
@@ -61,6 +63,55 @@ TwoQubitDecomposition synthesizeGateFixedDepth(
 TwoQubitDecomposition synthesizeGateSequence(
     const Mat4 &target, const std::vector<Mat4> &layers,
     const SynthOptions &opts = {});
+
+// ---------------------------------------------------------------------------
+// Restart-level primitives shared by the serial paths above and the
+// parallel SynthEngine. Both drive the exact same optimizer code with
+// the exact same derived seeds, which is what makes engine results
+// bit-identical to serial ones for a fixed SynthOptions::seed.
+// ---------------------------------------------------------------------------
+
+/** Outcome of one multistart restart at a fixed layer sequence. */
+struct SynthRestartResult
+{
+    std::vector<double> params; ///< Best U3-angle vector found.
+    double infidelity = 1.0;    ///< Objective value at params.
+    /** True when should_stop fired; the result may be half-converged
+     *  and must not participate in best-of selection. */
+    bool aborted = false;
+};
+
+/**
+ * Seed of the RNG stream for restart `restart` at depth `depth`
+ * (splitmix-derived; see Rng::deriveSeed). Consecutive restarts and
+ * depths get statistically independent streams.
+ */
+uint64_t synthRestartSeed(uint64_t base_seed, size_t depth,
+                          int restart);
+
+/**
+ * Run a single synthesis restart: draw the initial point from
+ * `stream_seed`, descend with Adam, polish with L-BFGS.
+ *
+ * @param should_stop optional cooperative-cancellation poll (see
+ *                    AdamOptions::should_stop); when it fires the
+ *                    result comes back with aborted = true.
+ */
+SynthRestartResult synthesizeRestart(
+    const Mat4 &target, const std::vector<Mat4> &layers,
+    uint64_t stream_seed, const SynthOptions &opts,
+    const std::function<bool()> &should_stop = {});
+
+/**
+ * Assemble a TwoQubitDecomposition from optimizer parameters (6 U3
+ * angles per local layer), fixing the global phase against `target`.
+ */
+TwoQubitDecomposition assembleDecomposition(
+    const Mat4 &target, const std::vector<Mat4> &basis_layers,
+    const std::vector<double> &params, double infidelity);
+
+/** Zero-layer decomposition of a (nearly) local target. */
+TwoQubitDecomposition synthesizeLocalTarget(const Mat4 &target);
 
 } // namespace qbasis
 

@@ -17,45 +17,97 @@ swapConjugate(const Mat4 &m)
     return s * m * s;
 }
 
+/** Edge id of a (routed) 2Q gate, with diagnostics. */
+int
+edgeIdOf(const Gate &g, const CouplingMap &cm)
+{
+    const int eid = cm.edgeId(g.qubits[0], g.qubits[1]);
+    if (eid < 0) {
+        fatal("translate: 2Q gate '%s' on uncoupled pair "
+              "(%d, %d); route the circuit first",
+              g.name().c_str(), g.qubits[0], g.qubits[1]);
+    }
+    return eid;
+}
+
+/** Oriented synthesis target of one routed 2Q gate. */
+Mat4
+orientedTarget(const Gate &g, const CouplingMap &cm, int eid)
+{
+    // Orient the target with the edge's lo qubit as the most
+    // significant slot so decompositions are shared between both
+    // gate orientations.
+    const auto [lo, hi] = cm.edges()[eid];
+    (void)hi;
+    Mat4 target = g.matrix4();
+    if (g.qubits[0] != lo)
+        target = swapConjugate(target);
+    return target;
+}
+
 } // namespace
+
+std::vector<SynthRequest>
+collectSynthRequests(const Circuit &physical, const CouplingMap &cm,
+                     const std::vector<EdgeBasis> &bases)
+{
+    if (bases.size() != cm.edges().size())
+        fatal("edge basis table size %zu != edge count %zu",
+              bases.size(), cm.edges().size());
+    std::vector<SynthRequest> requests;
+    for (const Gate &g : physical.gates()) {
+        if (!g.isTwoQubit())
+            continue;
+        const int eid = edgeIdOf(g, cm);
+        SynthRequest req;
+        req.edge_id = eid;
+        req.target = orientedTarget(g, cm, eid);
+        req.basis = bases[static_cast<size_t>(eid)].gate;
+        requests.push_back(std::move(req));
+    }
+    return requests;
+}
 
 Circuit
 translateToEdgeBases(const Circuit &physical, const CouplingMap &cm,
                      const std::vector<EdgeBasis> &bases,
                      DecompositionCache &cache,
                      const SynthOptions &synth_opts,
-                     BasisTranslationStats *stats)
+                     BasisTranslationStats *stats, SynthEngine *engine)
 {
     if (bases.size() != cm.edges().size())
         fatal("edge basis table size %zu != edge count %zu",
               bases.size(), cm.edges().size());
 
+    // With an engine, batch-synthesize every 2Q gate's decomposition
+    // up front (deduped by Weyl class, fanned over the pool);
+    // otherwise decompositions are pulled from the cache on demand.
+    std::vector<TwoQubitDecomposition> batched;
+    if (engine != nullptr) {
+        batched = engine->synthesizeBatch(
+            collectSynthRequests(physical, cm, bases), cache,
+            synth_opts);
+    }
+
     Circuit out(physical.numQubits());
     BasisTranslationStats local_stats;
+    size_t next_2q = 0;
 
     for (const Gate &g : physical.gates()) {
         if (!g.isTwoQubit()) {
             out.append(g);
             continue;
         }
-        const int qa = g.qubits[0];
-        const int qb = g.qubits[1];
-        const int eid = cm.edgeId(qa, qb);
-        if (eid < 0)
-            fatal("translate: 2Q gate '%s' on uncoupled pair "
-                  "(%d, %d); route the circuit first",
-                  g.name().c_str(), qa, qb);
-
-        // Orient the target with the edge's lo qubit as the most
-        // significant slot so cached decompositions are shared
-        // between both gate orientations.
+        const int eid = edgeIdOf(g, cm);
         const auto [lo, hi] = cm.edges()[eid];
-        Mat4 target = g.matrix4();
-        if (qa != lo)
-            target = swapConjugate(target);
 
-        const TwoQubitDecomposition &dec = cache.getOrSynthesize(
-            eid, target, bases[eid].gate, synth_opts);
+        const TwoQubitDecomposition dec =
+            engine != nullptr
+                ? std::move(batched[next_2q++])
+                : cache.getOrSynthesize(
+                      eid, orientedTarget(g, cm, eid),
+                      bases[static_cast<size_t>(eid)].gate,
+                      synth_opts);
         if (dec.infidelity > 1e-6) {
             warn("translate: decomposition infidelity %.2e on edge "
                  "%d for gate '%s'", dec.infidelity, eid,
@@ -67,15 +119,16 @@ translateToEdgeBases(const Circuit &physical, const CouplingMap &cm,
         out.unitary1q(hi, dec.locals[0].q0, "u");
         for (int layer = 0; layer < dec.layers(); ++layer) {
             out.unitary2q(lo, hi, dec.basis[layer],
-                          bases[eid].label.empty()
+                          bases[static_cast<size_t>(eid)].label.empty()
                               ? "basis"
-                              : bases[eid].label);
+                              : bases[static_cast<size_t>(eid)].label);
             out.unitary1q(lo, dec.locals[layer + 1].q1, "u");
             out.unitary1q(hi, dec.locals[layer + 1].q0, "u");
         }
 
         ++local_stats.translated_2q;
-        local_stats.total_layers += dec.layers();
+        local_stats.total_layers +=
+            static_cast<size_t>(dec.layers());
         local_stats.max_infidelity =
             std::max(local_stats.max_infidelity, dec.infidelity);
     }

@@ -15,6 +15,7 @@
 #include "circuit/circuit.hpp"
 #include "circuit/schedule.hpp"
 #include "synth/cache.hpp"
+#include "synth/engine.hpp"
 #include "circuit/coupling.hpp"
 
 namespace qbasis {
@@ -36,18 +37,34 @@ struct BasisTranslationStats
 };
 
 /**
+ * List the synthesis requests the translation of `physical` needs:
+ * one per 2Q gate, with the target oriented lo-qubit-first so both
+ * gate orientations share decompositions. This is the batch the
+ * SynthEngine fans out before emission.
+ */
+std::vector<SynthRequest>
+collectSynthRequests(const Circuit &physical, const CouplingMap &cm,
+                     const std::vector<EdgeBasis> &bases);
+
+/**
  * Rewrite `physical` so every 2Q gate becomes applications of the
  * corresponding edge's basis gate plus 1Q gates.
  *
  * All 2Q gates must act on coupled pairs (i.e. the circuit is
  * routed). Basis-gate applications are labeled "basis".
+ *
+ * With `engine` set, all decompositions are batch-synthesized up
+ * front on the engine's thread pool; otherwise each gate is looked
+ * up serially. Both paths produce bit-identical circuits for a fixed
+ * SynthOptions::seed.
  */
 Circuit translateToEdgeBases(const Circuit &physical,
                              const CouplingMap &cm,
                              const std::vector<EdgeBasis> &bases,
                              DecompositionCache &cache,
                              const SynthOptions &synth_opts,
-                             BasisTranslationStats *stats = nullptr);
+                             BasisTranslationStats *stats = nullptr,
+                             SynthEngine *engine = nullptr);
 
 /**
  * Duration model for translated circuits: 1Q gates take t_1q_ns,

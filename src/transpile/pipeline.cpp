@@ -1,5 +1,6 @@
 #include "transpile/pipeline.hpp"
 
+#include "synth/engine.hpp"
 #include "transpile/merge_1q.hpp"
 
 namespace qbasis {
@@ -20,9 +21,11 @@ transpileCircuit(const Circuit &logical, const CouplingMap &cm,
     result.swaps_inserted = routed.swaps_inserted;
 
     const Circuit merged = mergeSingleQubitRuns(routed.circuit);
+    SynthEngine *engine =
+        opts.parallel_synth ? &SynthEngine::shared() : nullptr;
     const Circuit translated =
         translateToEdgeBases(merged, cm, bases, cache, opts.synth,
-                             &result.translation);
+                             &result.translation, engine);
     result.physical = mergeSingleQubitRuns(translated);
     return result;
 }

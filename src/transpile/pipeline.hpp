@@ -21,6 +21,13 @@ struct TranspileOptions
     SabreOptions sabre;      ///< Routing heuristic tunables.
     SynthOptions synth;      ///< Gate-synthesis settings.
     int layout_iterations = 3; ///< SABRE layout refinement passes.
+    /**
+     * Batch-synthesize decompositions on SynthEngine::shared()'s
+     * thread pool. Results are bit-identical to the serial path for
+     * a fixed synth.seed; disable only to benchmark or debug the
+     * serial path.
+     */
+    bool parallel_synth = true;
 };
 
 /** Result of the full pipeline. */

@@ -105,6 +105,17 @@ Rng::split()
     return Rng(next());
 }
 
+uint64_t
+Rng::deriveSeed(uint64_t base, uint64_t stream)
+{
+    // Mix the stream index into the base with one golden-ratio step,
+    // then run two splitmix64 rounds so single-bit differences in
+    // either input avalanche across the whole word.
+    uint64_t x = base ^ (stream * 0x9e3779b97f4a7c15ull);
+    splitmix64(x);
+    return splitmix64(x);
+}
+
 void
 Rng::shuffle(std::vector<std::size_t> &v)
 {

@@ -46,6 +46,18 @@ class Rng
     /** Fork an independent stream (useful for parallel substreams). */
     Rng split();
 
+    /**
+     * Derive an independent stream seed from a base seed and a stream
+     * index (splitmix64 finalizer over the mixed pair).
+     *
+     * Unlike naive `base + k * constant` arithmetic, nearby stream
+     * indices yield statistically unrelated xoshiro states, so
+     * parallel restarts seeded with consecutive indices do not start
+     * from correlated points. Chain calls to derive nested streams:
+     * `deriveSeed(deriveSeed(base, depth), restart)`.
+     */
+    static uint64_t deriveSeed(uint64_t base, uint64_t stream);
+
     /** Fisher–Yates shuffle of an index vector. */
     void shuffle(std::vector<std::size_t> &v);
 

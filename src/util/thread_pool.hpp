@@ -1,0 +1,86 @@
+#ifndef QBASIS_UTIL_THREAD_POOL_HPP
+#define QBASIS_UTIL_THREAD_POOL_HPP
+
+/**
+ * @file
+ * Work-stealing thread pool for the synthesis engine.
+ *
+ * Each worker owns a deque of tasks: it pops work from the front of
+ * its own deque and, when empty, steals from the back of a sibling's
+ * deque (classic Chase-Lev shape, implemented with per-deque locks --
+ * task bodies here run for milliseconds, so queue contention is
+ * negligible and correctness stays obvious). External threads submit
+ * round-robin across workers; worker threads submit to their own
+ * deque for locality.
+ *
+ * Tasks may themselves submit further tasks (the synthesis engine's
+ * depth waves do), so workers never block waiting on other tasks;
+ * completion signalling is the caller's responsibility (see
+ * SynthEngine) or use parallelFor() for the simple fork-join case.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qbasis {
+
+/** Fixed-size work-stealing thread pool. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start `threads` workers; 0 means hardwareThreads().
+     * The pool is non-copyable and joins all workers on destruction.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. Safe to call from worker threads. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run fn(i) for i in [0, n) across the pool and block until all
+     * are done. Exceptions thrown by tasks are captured and the one
+     * with the smallest index is rethrown on the caller (results for
+     * other indices are still completed first).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** Number of worker threads. */
+    int size() const { return static_cast<int>(threads_.size()); }
+
+    /** Detected hardware concurrency (at least 1). */
+    static int hardwareThreads();
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(size_t self);
+    bool tryRun(size_t self);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<bool> stop_{false};
+    std::atomic<uint64_t> submit_counter_{0};
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_UTIL_THREAD_POOL_HPP

@@ -6,6 +6,7 @@
 #include "linalg/factor.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/simdiag.hpp"
+#include "linalg/su2.hpp"
 #include "util/logging.hpp"
 #include "weyl/gates.hpp"
 
@@ -203,6 +204,187 @@ kakDecompose(const Mat4 &u, double tol)
     if (err > 100.0 * tol) {
         panic("kakDecompose: reconstruction error %.3e exceeds "
               "tolerance", err);
+    }
+    return out;
+}
+
+Mat4
+CanonicalKak::reconstruct() const
+{
+    const Mat4 left = Mat4::kron(a1, a0);
+    const Mat4 right = Mat4::kron(b1, b0);
+    const Mat4 can = canonicalGate(coords.tx, coords.ty, coords.tz);
+    return (left * can * right) * phase;
+}
+
+namespace {
+
+/**
+ * Mutable reduction state maintaining the exact invariant
+ *   u = phase * (a1 (x) a0) * CAN(c) * (b1 (x) b0)
+ * while the chamber symmetries walk c into the canonical region.
+ *
+ * Each move below is an exact operator identity:
+ *  - CAN(c + e_k) = (-i) (P_k (x) P_k) CAN(c)   [shift]
+ *  - (P_k (x) I) CAN(c) (P_k (x) I) negates the two coordinates
+ *    other than k                                 [pair sign flip]
+ *  - (V (x) V) CAN(c) (V (x) V)^dag permutes two coordinates for
+ *    V in {S, RX(pi/2), RY(pi/2)}                 [axis swap]
+ * The bottom-plane mirror is the composition flip(tx, tz) then
+ * shift tx by +1.
+ */
+struct ChamberReducer
+{
+    Complex phase;
+    Mat2 a1, a0, b1, b0;
+    double c[3];
+
+    /** phase *= (-i)^m for any (possibly negative) integer m. */
+    void
+    mulPhaseMinusIPow(long m)
+    {
+        switch (((m % 4) + 4) % 4) {
+        case 0: break;
+        case 1: phase *= Complex(0.0, -1.0); break;
+        case 2: phase *= -1.0; break;
+        case 3: phase *= Complex(0.0, 1.0); break;
+        }
+    }
+
+    /** c[k] -= m via CAN(c) = [(-i)(P_k x P_k)]^m CAN(c - m e_k). */
+    void
+    shiftInt(int k, long m)
+    {
+        if (m == 0)
+            return;
+        static const Mat2 paulis[3] = {pauliX(), pauliY(), pauliZ()};
+        c[k] -= static_cast<double>(m);
+        mulPhaseMinusIPow(m);
+        if (m % 2 != 0) {
+            a1 = a1 * paulis[k];
+            a0 = a0 * paulis[k];
+        }
+    }
+
+    /** Reduce c[k] into [0, 1). */
+    void
+    modOne(int k)
+    {
+        shiftInt(k, static_cast<long>(std::floor(c[k])));
+    }
+
+    /** Negate the two coordinates other than k. */
+    void
+    flipPair(int k)
+    {
+        static const Mat2 paulis[3] = {pauliX(), pauliY(), pauliZ()};
+        for (int i = 0; i < 3; ++i) {
+            if (i != k)
+                c[i] = -c[i];
+        }
+        a1 = a1 * paulis[k];
+        b1 = paulis[k] * b1;
+    }
+
+    /** Exchange coordinates i < j via the local Clifford conjugator. */
+    void
+    swapCoords(int i, int j)
+    {
+        // (V x V) CAN(c) (V x V)^dag = CAN(c with i, j exchanged), so
+        // CAN(c) = (V^dag x V^dag) CAN(c_swapped) (V x V).
+        Mat2 v;
+        if (i == 0 && j == 1)
+            v = phaseGate(kPi / 2.0); // S: X -> Y, Y -> -X
+        else if (i == 1 && j == 2)
+            v = rx(kPi / 2.0); // Y -> Z, Z -> -Y
+        else if (i == 0 && j == 2)
+            v = ry(kPi / 2.0); // Z -> X, X -> -Z
+        else
+            panic("ChamberReducer::swapCoords: bad axes %d, %d", i, j);
+        std::swap(c[i], c[j]);
+        const Mat2 vd = v.dagger();
+        a1 = a1 * vd;
+        a0 = a0 * vd;
+        b1 = v * b1;
+        b0 = v * b0;
+    }
+
+    /** Sort coordinates descending with explicit swap moves. */
+    void
+    sortDesc()
+    {
+        if (c[0] < c[1])
+            swapCoords(0, 1);
+        if (c[1] < c[2])
+            swapCoords(1, 2);
+        if (c[0] < c[1])
+            swapCoords(0, 1);
+    }
+
+    /** Walk c into the canonical chamber (same branches as
+     *  canonicalize() in weyl/cartan.cpp, but tracked exactly). */
+    void
+    reduce(double eps)
+    {
+        for (int k = 0; k < 3; ++k)
+            modOne(k);
+        for (int iter = 0; iter < 64; ++iter) {
+            sortDesc();
+            if (c[0] + c[1] <= 1.0 + eps)
+                break;
+            // (c0, c1) -> (1 - c0, 1 - c1): flip the leading pair's
+            // signs (conjugation by the remaining axis), then shift
+            // both up by one.
+            flipPair(2);
+            shiftInt(0, -1);
+            shiftInt(1, -1);
+            modOne(0);
+            modOne(1);
+        }
+        sortDesc();
+        // Bottom-plane identification (tx, ty, 0) ~ (1 - tx, ty, 0).
+        if (c[2] <= eps && c[0] > 0.5 + eps) {
+            flipPair(1);
+            shiftInt(0, -1);
+            sortDesc();
+        }
+    }
+};
+
+} // namespace
+
+CanonicalKak
+canonicalKakDecompose(const Mat4 &u, double tol)
+{
+    const KakDecomposition kak = kakDecompose(u, tol);
+
+    ChamberReducer red;
+    red.phase = kak.phase;
+    red.a1 = kak.a1;
+    red.a0 = kak.a0;
+    red.b1 = kak.b1;
+    red.b0 = kak.b0;
+    red.c[0] = kak.coords.tx;
+    red.c[1] = kak.coords.ty;
+    red.c[2] = kak.coords.tz;
+    red.reduce(1e-10);
+
+    CanonicalKak out;
+    out.phase = red.phase;
+    out.a1 = red.a1;
+    out.a0 = red.a0;
+    out.b1 = red.b1;
+    out.b0 = red.b0;
+    out.coords = {red.c[0], red.c[1], red.c[2]};
+
+    if (!inCanonicalChamber(out.coords, 1e-8)) {
+        panic("canonicalKakDecompose: reduction left the chamber at "
+              "%s", out.coords.str(6).c_str());
+    }
+    const double err = out.reconstruct().maxAbsDiff(u);
+    if (err > 100.0 * tol) {
+        panic("canonicalKakDecompose: reconstruction error %.3e "
+              "exceeds tolerance", err);
     }
     return out;
 }

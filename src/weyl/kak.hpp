@@ -40,6 +40,42 @@ struct KakDecomposition
  */
 KakDecomposition kakDecompose(const Mat4 &u, double tol = 1e-8);
 
+/**
+ * KAK decomposition whose coordinates lie inside the canonical Weyl
+ * chamber.
+ *
+ * Unlike cartanCoords() -- which canonicalizes the coordinate triple
+ * and discards the factors -- this reduction applies each chamber
+ * symmetry (integer shifts, pairwise sign flips, axis permutations,
+ * bottom-plane mirror) as an exact local-gate and phase update, so
+ * the identity
+ *   u = phase * (a1 (x) a0) * CAN(coords) * (b1 (x) b0)
+ * holds exactly with canonical `coords`. This is what lets the
+ * synthesis cache share one decomposition across every locally-
+ * equivalent target: synthesize CAN(coords) once, then re-dress each
+ * target with its own (a*, b*, phase).
+ */
+struct CanonicalKak
+{
+    Complex phase;       ///< Global phase.
+    Mat2 a1;             ///< Left local on the first qubit.
+    Mat2 a0;             ///< Left local on the second qubit.
+    CartanCoords coords; ///< Canonical-chamber coordinates.
+    Mat2 b1;             ///< Right local on the first qubit.
+    Mat2 b0;             ///< Right local on the second qubit.
+
+    /** Rebuild the unitary from the factors. */
+    Mat4 reconstruct() const;
+};
+
+/**
+ * Canonical-chamber KAK decomposition (see CanonicalKak).
+ *
+ * @param u    the unitary (need not be special).
+ * @param tol  validation tolerance; exceeding it raises panic().
+ */
+CanonicalKak canonicalKakDecompose(const Mat4 &u, double tol = 1e-8);
+
 } // namespace qbasis
 
 #endif // QBASIS_WEYL_KAK_HPP

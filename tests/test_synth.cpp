@@ -7,17 +7,20 @@
  */
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "linalg/random.hpp"
 #include "linalg/su2.hpp"
 #include "synth/cache.hpp"
+#include "synth/engine.hpp"
 #include "synth/numerical.hpp"
 #include "synth/textbook.hpp"
 #include "util/rng.hpp"
 #include "weyl/cartan.hpp"
 #include "weyl/gates.hpp"
+#include "weyl/kak.hpp"
 
 namespace qbasis {
 namespace {
@@ -211,23 +214,26 @@ TEST(Cache, HitsAndMisses)
 {
     DecompositionCache cache;
     const SynthOptions o = fastSynth();
-    const auto &d1 =
+    const auto d1 =
         cache.getOrSynthesize(0, cnotGate(), sqrtIswapGate(), o);
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_EQ(cache.hits(), 0u);
-    const auto &d2 =
+    const auto d2 =
         cache.getOrSynthesize(0, cnotGate(), sqrtIswapGate(), o);
     EXPECT_EQ(cache.hits(), 1u);
-    EXPECT_EQ(&d1, &d2);
-    // Different edge id -> separate entry.
+    EXPECT_LT(d1.reconstruct().maxAbsDiff(d2.reconstruct()), 1e-12);
+    // Same Weyl class on a different edge -> shared entry (the basis
+    // hash, not the edge id, scopes the cache).
     cache.getOrSynthesize(1, cnotGate(), sqrtIswapGate(), o);
-    EXPECT_EQ(cache.misses(), 2u);
-    // Different target -> separate entry.
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 2u);
+    // Different target class -> separate entry.
     cache.getOrSynthesize(0, swapGate(), sqrtIswapGate(), o);
-    EXPECT_EQ(cache.misses(), 3u);
-    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
 }
 
 TEST(Cache, HashDistinguishesGates)
@@ -238,6 +244,204 @@ TEST(Cache, HashDistinguishesGates)
               DecompositionCache::hashGate(cphaseGate(0.5001)));
     EXPECT_EQ(DecompositionCache::hashGate(swapGate()),
               DecompositionCache::hashGate(swapGate()));
+}
+
+TEST(Cache, WeylClassSharing)
+{
+    // Random local dressings of one canonical gate are all locally
+    // equivalent: the first lookup synthesizes the class, every
+    // dressed variant afterwards is a hit, and each dressed result
+    // still reconstructs its own target exactly.
+    DecompositionCache cache;
+    const SynthOptions o = fastSynth();
+    const Mat4 basis = canonicalGate(0.28, 0.21, 0.05);
+    const Mat4 core = canonicalGate(0.37, 0.16, 0.02);
+
+    Rng rng(11);
+    cache.getOrSynthesize(0, core, basis, o);
+    EXPECT_EQ(cache.misses(), 1u);
+    for (int i = 0; i < 4; ++i) {
+        const Mat4 dressed =
+            Mat4::kron(randomSU2(rng), randomSU2(rng)) * core
+            * Mat4::kron(randomSU2(rng), randomSU2(rng));
+        const TwoQubitDecomposition d =
+            cache.getOrSynthesize(i, dressed, basis, o);
+        EXPECT_LT(d.infidelity, 1e-7);
+        EXPECT_LT(traceInfidelity(d.reconstruct(), dressed), 1e-7);
+        EXPECT_TRUE(d.wellFormed());
+    }
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 4u);
+}
+
+TEST(Cache, OrientationSharing)
+{
+    // SWAP-conjugated (qubit-reversed) targets keep their canonical
+    // coordinates, so both orientations of a gate share one class.
+    DecompositionCache cache;
+    const SynthOptions o = fastSynth();
+    const Mat4 basis = canonicalGate(0.28, 0.21, 0.05);
+    const Mat4 target = cphaseGate(0.9) * Mat4::kron(rx(0.3), rz(0.7));
+    const Mat4 reversed = swapGate() * target * swapGate();
+
+    cache.getOrSynthesize(0, target, basis, o);
+    const TwoQubitDecomposition d =
+        cache.getOrSynthesize(0, reversed, basis, o);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_LT(traceInfidelity(d.reconstruct(), reversed), 1e-7);
+}
+
+TEST(Cache, BasisChangeInvalidates)
+{
+    // The drift-cycle bug the raw (edge, target) key had: after the
+    // edge's basis gate changes, the same target must re-synthesize
+    // instead of returning the stale decomposition.
+    DecompositionCache cache;
+    const SynthOptions o = fastSynth();
+    const Mat4 basis_old = canonicalGate(0.28, 0.21, 0.05);
+    const Mat4 basis_new = canonicalGate(0.30, 0.22, 0.06);
+
+    const TwoQubitDecomposition d_old =
+        cache.getOrSynthesize(0, swapGate(), basis_old, o);
+    EXPECT_EQ(cache.misses(), 1u);
+    const TwoQubitDecomposition d_new =
+        cache.getOrSynthesize(0, swapGate(), basis_new, o);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 0u);
+    // Both decompose SWAP, but into their own basis gates.
+    for (const Mat4 &b : d_old.basis)
+        EXPECT_LT(b.maxAbsDiff(basis_old), 1e-12);
+    for (const Mat4 &b : d_new.basis)
+        EXPECT_LT(b.maxAbsDiff(basis_new), 1e-12);
+}
+
+TEST(Cache, OptionsChangeInvalidates)
+{
+    DecompositionCache cache;
+    SynthOptions o = fastSynth();
+    cache.getOrSynthesize(0, cnotGate(), sqrtIswapGate(), o);
+    SynthOptions o2 = o;
+    o2.seed += 1;
+    cache.getOrSynthesize(0, cnotGate(), sqrtIswapGate(), o2);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CanonicalKakForCache, ExactDressingAndClassStability)
+{
+    // The cache's correctness rests on canonicalKakDecompose being an
+    // exact identity with chamber coordinates: spot-check both here
+    // on the gate family the transpiler actually feeds it.
+    Rng rng(23);
+    for (int i = 0; i < 8; ++i) {
+        const Mat4 u = randomSU4(rng);
+        const CanonicalKak ck = canonicalKakDecompose(u);
+        EXPECT_LT(ck.reconstruct().maxAbsDiff(u), 1e-9);
+        EXPECT_TRUE(inCanonicalChamber(ck.coords, 1e-8));
+        // Coordinates agree with the coordinate-only canonicalizer.
+        EXPECT_LT(ck.coords.distance(cartanCoords(u)), 1e-8);
+        // Local dressing does not move the class.
+        const Mat4 dressed =
+            Mat4::kron(randomSU2(rng), randomSU2(rng)) * u
+            * Mat4::kron(randomSU2(rng), randomSU2(rng));
+        const CanonicalKak cd = canonicalKakDecompose(dressed);
+        EXPECT_LT(ck.coords.distance(cd.coords), 1e-9);
+    }
+}
+
+namespace {
+
+/** Bitwise equality of two decompositions (no tolerance). */
+bool
+bitIdentical(const TwoQubitDecomposition &a,
+             const TwoQubitDecomposition &b)
+{
+    auto same = [](const Complex &x, const Complex &y) {
+        return std::memcmp(&x, &y, sizeof(Complex)) == 0;
+    };
+    if (a.layers() != b.layers() || a.infidelity != b.infidelity
+        || !same(a.phase, b.phase))
+        return false;
+    for (size_t j = 0; j < a.locals.size(); ++j) {
+        for (int r = 0; r < 2; ++r) {
+            for (int c = 0; c < 2; ++c) {
+                if (!same(a.locals[j].q1(r, c), b.locals[j].q1(r, c))
+                    || !same(a.locals[j].q0(r, c),
+                             b.locals[j].q0(r, c)))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<SynthRequest>
+engineTestRequests()
+{
+    const Mat4 basis = canonicalGate(0.28, 0.21, 0.05);
+    std::vector<SynthRequest> reqs;
+    Rng rng(31);
+    for (double theta : {kPi / 2.0, kPi / 4.0, kPi / 2.0}) {
+        SynthRequest r;
+        r.target = cphaseGate(theta);
+        r.basis = basis;
+        reqs.push_back(r);
+        SynthRequest dressed;
+        dressed.target = Mat4::kron(randomSU2(rng), randomSU2(rng))
+                         * cphaseGate(theta)
+                         * Mat4::kron(randomSU2(rng), randomSU2(rng));
+        dressed.basis = basis;
+        reqs.push_back(dressed);
+    }
+    SynthRequest s;
+    s.target = swapGate();
+    s.basis = basis;
+    reqs.push_back(s);
+    return reqs;
+}
+
+} // namespace
+
+TEST(Engine, DeterministicAcrossThreadCounts)
+{
+    // Same seed => bit-identical selected decompositions at 1 and N
+    // threads, and identical to the serial cache path.
+    const SynthOptions o = fastSynth();
+    const std::vector<SynthRequest> reqs = engineTestRequests();
+
+    SynthEngine e1(1), e4(4);
+    DecompositionCache c1, c4, cs;
+    const auto r1 = e1.synthesizeBatch(reqs, c1, o);
+    const auto r4 = e4.synthesizeBatch(reqs, c4, o);
+    std::vector<TwoQubitDecomposition> rs;
+    for (const SynthRequest &q : reqs)
+        rs.push_back(cs.getOrSynthesize(q.edge_id, q.target, q.basis,
+                                        o));
+
+    ASSERT_EQ(r1.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_TRUE(bitIdentical(r1[i], r4[i])) << "request " << i;
+        EXPECT_TRUE(bitIdentical(r1[i], rs[i])) << "request " << i;
+        EXPECT_LT(traceInfidelity(r1[i].reconstruct(),
+                                  reqs[i].target), 1e-7);
+    }
+    // Counter semantics match the serial lookup loop.
+    EXPECT_EQ(c1.hits(), cs.hits());
+    EXPECT_EQ(c1.misses(), cs.misses());
+    EXPECT_EQ(c4.size(), cs.size());
+}
+
+TEST(Engine, ReusesWarmCacheAcrossBatches)
+{
+    const SynthOptions o = fastSynth();
+    const std::vector<SynthRequest> reqs = engineTestRequests();
+    SynthEngine engine(2);
+    DecompositionCache cache;
+    engine.synthesizeBatch(reqs, cache, o);
+    const uint64_t misses_first = cache.misses();
+    engine.synthesizeBatch(reqs, cache, o);
+    EXPECT_EQ(cache.misses(), misses_first);
+    EXPECT_GE(cache.hits(), reqs.size());
 }
 
 

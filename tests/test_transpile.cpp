@@ -266,6 +266,41 @@ TEST(Translate, NonstandardBasisPreservesSemantics)
     EXPECT_TRUE(circuitsEquivalent(c, t));
 }
 
+TEST(Translate, EngineMatchesSerialBitExactly)
+{
+    // Batched (thread-pooled) translation must emit exactly the same
+    // circuit as the serial per-gate path for a fixed seed.
+    const Mat4 basis = canonicalGate(0.45, 0.23, 0.07);
+    const CouplingMap cm = CouplingMap::line(3);
+    const auto bases = uniformBases(cm, basis, 12.0, "ns");
+    Circuit c(3);
+    c.h(2);
+    c.cx(2, 1);
+    c.swap(0, 1);
+    c.cphase(1, 2, 0.77);
+    c.cphase(0, 1, 0.77);
+
+    DecompositionCache cache_serial, cache_engine;
+    const Circuit serial = translateToEdgeBases(
+        c, cm, bases, cache_serial, SynthOptions{});
+    SynthEngine engine(4);
+    const Circuit batched = translateToEdgeBases(
+        c, cm, bases, cache_engine, SynthOptions{}, nullptr, &engine);
+
+    ASSERT_EQ(serial.gates().size(), batched.gates().size());
+    for (size_t i = 0; i < serial.gates().size(); ++i) {
+        const Gate &a = serial.gates()[i];
+        const Gate &b = batched.gates()[i];
+        ASSERT_EQ(a.qubits, b.qubits);
+        if (a.isTwoQubit())
+            EXPECT_EQ(a.matrix4().maxAbsDiff(b.matrix4()), 0.0);
+        else
+            EXPECT_EQ(a.matrix2().maxAbsDiff(b.matrix2()), 0.0);
+    }
+    EXPECT_EQ(cache_serial.hits(), cache_engine.hits());
+    EXPECT_EQ(cache_serial.misses(), cache_engine.misses());
+}
+
 TEST(Translate, ReversedEdgeOrientationHandled)
 {
     // Gates given as (hi, lo) must still translate correctly.
