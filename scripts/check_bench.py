@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Reads BENCH_synth.json and BENCH_fleet.json (produced by
+`bench_synth --quick` and `bench_fleet --quick`) and gates on the
+floors committed in bench/baselines.json:
+
+  * every workload's engine/serial agreement (results_match),
+  * fleet bit-determinism at 1 vs N shards,
+  * cache speedup and hit-rate floors,
+  * cross-device sharing floors for multi-device fleets.
+
+Exits nonzero with one line per violated floor. Pure stdlib.
+
+Usage: scripts/check_bench.py [--synth PATH] [--fleet PATH]
+                              [--baselines PATH]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check_synth(bench, base, failures):
+    floors = base.get("synth", {})
+    workloads = bench.get("workloads", {})
+    # Every workload with a committed floor must be present: a
+    # renamed/dropped workload must not read as green.
+    expected = set(floors.get("min_speedup", {})) | set(
+        floors.get("min_hit_rate", {})
+    )
+    for name in sorted(expected - set(workloads)):
+        failures.append(
+            f"synth[{name}]: workload missing from bench output"
+        )
+    for name, wl in workloads.items():
+        if floors.get("require_results_match") and not wl.get(
+            "results_match"
+        ):
+            failures.append(
+                f"synth[{name}]: engine/serial results diverged "
+                "(results_match=false)"
+            )
+        floor = floors.get("min_speedup", {}).get(name)
+        if floor is not None and wl.get("speedup", 0.0) < floor:
+            failures.append(
+                f"synth[{name}]: speedup {wl.get('speedup')}x below "
+                f"floor {floor}x"
+            )
+        floor = floors.get("min_hit_rate", {}).get(name)
+        if floor is not None and wl.get("cache_hit_rate", 0.0) < floor:
+            failures.append(
+                f"synth[{name}]: cache hit rate "
+                f"{wl.get('cache_hit_rate')} below floor {floor}"
+            )
+
+
+def check_fleet(bench, base, failures):
+    floors = base.get("fleet", {})
+    det = bench.get("determinism", {})
+    if floors.get("require_determinism") and not det.get(
+        "results_match"
+    ):
+        failures.append(
+            f"fleet: results at {det.get('shards_a')} vs "
+            f"{det.get('shards_b')} shards are not bit-identical"
+        )
+    multi = [
+        f
+        for f in bench.get("fleets", {}).values()
+        if f.get("devices", 0) >= 2
+    ]
+    if not multi:
+        failures.append("fleet: no multi-device fleet in bench output")
+        return
+    for f in multi:
+        n = f.get("devices")
+        floor = floors.get("min_cross_device_hit_rate")
+        if (
+            floor is not None
+            and f.get("cross_device_hit_rate", 0.0) < floor
+        ):
+            failures.append(
+                f"fleet[{n}]: cross-device hit rate "
+                f"{f.get('cross_device_hit_rate')} below floor {floor}"
+            )
+        floor = floors.get("min_hit_rate")
+        if floor is not None and f.get("hit_rate", 0.0) < floor:
+            failures.append(
+                f"fleet[{n}]: hit rate {f.get('hit_rate')} below "
+                f"floor {floor}"
+            )
+        floor = floors.get("min_multi_device_classes")
+        if (
+            floor is not None
+            and f.get("multi_device_classes", 0) < floor
+        ):
+            failures.append(
+                f"fleet[{n}]: only {f.get('multi_device_classes')} "
+                f"multi-device classes (floor {floor})"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--synth", default=REPO / "BENCH_synth.json")
+    parser.add_argument("--fleet", default=REPO / "BENCH_fleet.json")
+    parser.add_argument(
+        "--baselines", default=REPO / "bench" / "baselines.json"
+    )
+    args = parser.parse_args()
+
+    base = load(args.baselines)
+    failures = []
+    check_synth(load(args.synth), base, failures)
+    check_fleet(load(args.fleet), base, failures)
+
+    if failures:
+        print("bench gate: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("bench gate: OK (results_match, determinism, and all "
+          "committed floors hold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,49 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a synthesis-engine smoke run.
+# Tier-1 verification plus bench smokes -- the single entry point CI
+# calls.
 #
-#   scripts/verify.sh [build-dir]
+#   scripts/verify.sh [--quick] [build-dir]
 #
-# Mirrors what CI runs: configure (warnings-as-errors on the library),
-# build everything, run the test suite, then a quick bench_synth pass
-# that checks engine/serial agreement and emits BENCH_synth.json.
+#   --quick    skip the bench pass (bench_synth + bench_fleet +
+#              scripts/check_bench.py); the fleet smoke still runs so
+#              every matrix job exercises the sharded driver.
+#
+# Environment:
+#   CMAKE_BUILD_TYPE   build configuration (default Release)
+#   CMAKE_ARGS         extra -D flags for the configure step
+#   CC / CXX           compiler selection (honored by cmake)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
 
-cmake -B "$BUILD_DIR" -S .
+QUICK=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    -*) echo "usage: scripts/verify.sh [--quick] [build-dir]" >&2
+        exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+echo "=== verify: ${CXX:-c++} ($(${CXX:-c++} --version | head -n1)), " \
+     "build type ${BUILD_TYPE}, mode $([ "$QUICK" = 1 ] && echo quick || echo full) ==="
+
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+      ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 
-"$BUILD_DIR/bench_synth" --quick
+# Fleet smoke: 2-device shard run with cross-device dedupe and
+# bit-determinism asserts baked into the binary's exit code.
+"$BUILD_DIR/bench_fleet" --smoke
+
+if [ "$QUICK" = 0 ]; then
+  "$BUILD_DIR/bench_synth" --quick
+  "$BUILD_DIR/bench_fleet" --quick
+  python3 scripts/check_bench.py
+fi
 echo "verify: OK"

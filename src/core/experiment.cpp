@@ -31,8 +31,14 @@ calibrateDevice(const GridDevice &device, double xi,
     set.bases.resize(n_edges);
 
     for (size_t eid = 0; eid < simulate_edges; ++eid) {
-        const PairDeviceParams params =
+        PairDeviceParams params =
             device.edgeParams(static_cast<int>(eid));
+        if (opts.apply_drift) {
+            // Per-edge derived stream: drifted parameters do not
+            // depend on edge order or on edge_limit.
+            Rng rng(Rng::deriveSeed(opts.drift_seed, eid));
+            params = driftParams(params, opts.drift, rng);
+        }
         const PairSimulator sim(params, device.couplerOmegaMax(),
                                 opts.sim);
 
@@ -79,22 +85,12 @@ calibrateDevice(const GridDevice &device, double xi,
     return set;
 }
 
-GateSetSummary
-summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
-                 DecompositionCache &cache, const SynthOptions &synth,
-                 double t_1q_ns, double t_coherence_ns)
+namespace {
+
+/** SWAP + CNOT synthesis request per edge (the Table I batch). */
+std::vector<SynthRequest>
+gateSetRequests(const CouplingMap &cm, const CalibratedBasisSet &set)
 {
-    const CouplingMap &cm = device.coupling();
-    GateSetSummary s;
-    s.label = set.label;
-
-    RunningStats basis_ns, swap_ns, cnot_ns;
-    RunningStats basis_fid, swap_fid, cnot_fid;
-    RunningStats swap_layers, cnot_layers, oneq_share;
-
-    // Batch the whole device sweep (SWAP + CNOT per edge) through
-    // the engine: distinct Weyl classes synthesize in parallel,
-    // repeated basis gates collapse onto shared cache lines.
     std::vector<SynthRequest> requests;
     requests.reserve(2 * cm.edges().size());
     for (size_t eid = 0; eid < cm.edges().size(); ++eid) {
@@ -109,8 +105,22 @@ summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
         cnot_req.basis = set.bases[eid].gate;
         requests.push_back(cnot_req);
     }
-    const std::vector<TwoQubitDecomposition> decs =
-        SynthEngine::shared().synthesizeBatch(requests, cache, synth);
+    return requests;
+}
+
+/** Fold the per-edge decompositions into the Table I row. */
+GateSetSummary
+summarizeFromDecompositions(
+    const CouplingMap &cm, const CalibratedBasisSet &set,
+    const std::vector<TwoQubitDecomposition> &decs, double t_1q_ns,
+    double t_coherence_ns)
+{
+    GateSetSummary s;
+    s.label = set.label;
+
+    RunningStats basis_ns, swap_ns, cnot_ns;
+    RunningStats basis_fid, swap_fid, cnot_fid;
+    RunningStats swap_layers, cnot_layers, oneq_share;
 
     for (size_t eid = 0; eid < cm.edges().size(); ++eid) {
         const EdgeBasis &eb = set.bases[eid];
@@ -152,6 +162,36 @@ summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
     return s;
 }
 
+} // namespace
+
+GateSetSummary
+summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
+                 DecompositionCache &cache, const SynthOptions &synth,
+                 double t_1q_ns, double t_coherence_ns)
+{
+    // Batch the whole device sweep (SWAP + CNOT per edge) through
+    // the engine: distinct Weyl classes synthesize in parallel,
+    // repeated basis gates collapse onto shared cache lines.
+    const CouplingMap &cm = device.coupling();
+    const std::vector<TwoQubitDecomposition> decs =
+        SynthEngine::shared().synthesizeBatch(
+            gateSetRequests(cm, set), cache, synth);
+    return summarizeFromDecompositions(cm, set, decs, t_1q_ns,
+                                       t_coherence_ns);
+}
+
+GateSetSummary
+summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
+                 const SynthClient &client, const SynthOptions &synth,
+                 double t_1q_ns, double t_coherence_ns)
+{
+    const CouplingMap &cm = device.coupling();
+    const std::vector<TwoQubitDecomposition> decs =
+        client.synthesizeBatch(gateSetRequests(cm, set), synth);
+    return summarizeFromDecompositions(cm, set, decs, t_1q_ns,
+                                       t_coherence_ns);
+}
+
 CompiledCircuitResult
 compileAndScore(const GridDevice &device, const CalibratedBasisSet &set,
                 DecompositionCache &cache, const Circuit &logical,
@@ -161,6 +201,28 @@ compileAndScore(const GridDevice &device, const CalibratedBasisSet &set,
     const CouplingMap &cm = device.coupling();
     const TranspileResult compiled =
         transpileCircuit(logical, cm, set.bases, cache, opts);
+
+    const Schedule sched = scheduleAsap(
+        compiled.physical, edgeDurationModel(cm, set.bases, t_1q_ns));
+
+    CompiledCircuitResult result;
+    result.fidelity = circuitCoherenceFidelity(sched, t_coherence_ns);
+    result.makespan_ns = sched.makespan;
+    result.swaps_inserted = compiled.swaps_inserted;
+    result.two_qubit_gates = compiled.physical.countTwoQubit();
+    result.depth = compiled.physical.depth();
+    return result;
+}
+
+CompiledCircuitResult
+compileAndScore(const GridDevice &device, const CalibratedBasisSet &set,
+                const SynthClient &client, const Circuit &logical,
+                const TranspileOptions &opts, double t_1q_ns,
+                double t_coherence_ns)
+{
+    const CouplingMap &cm = device.coupling();
+    const TranspileResult compiled =
+        transpileCircuit(logical, cm, set.bases, client, opts);
 
     const Schedule sched = scheduleAsap(
         compiled.physical, edgeDurationModel(cm, set.bases, t_1q_ns));

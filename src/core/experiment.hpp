@@ -14,10 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "calib/drift.hpp"
 #include "core/selector.hpp"
 #include "sim/device.hpp"
 #include "sim/propagator.hpp"
 #include "synth/cache.hpp"
+#include "synth/engine.hpp"
 #include "transpile/pipeline.hpp"
 
 namespace qbasis {
@@ -54,6 +56,16 @@ struct DeviceCalibrationOptions
                                ///< (< 0 = all); remaining edges copy
                                ///< the calibrated ones round-robin
                                ///< (fast-mode for smoke runs).
+    /**
+     * Apply per-edge parameter drift before calibrating (fleet
+     * devices carry their own drifted unit cells). Each edge draws
+     * from an Rng::deriveSeed(drift_seed, edge) stream, so drifted
+     * parameters are deterministic and independent of edge order or
+     * edge_limit.
+     */
+    bool apply_drift = false;
+    DriftModel drift;          ///< Magnitudes when apply_drift is set.
+    uint64_t drift_seed = 0;   ///< Base seed of the per-edge streams.
 };
 
 /**
@@ -101,6 +113,17 @@ GateSetSummary summarizeGateSet(const GridDevice &device,
                                 const SynthOptions &synth,
                                 double t_1q_ns, double t_coherence_ns);
 
+/**
+ * Fleet-mode Table I sweep: the device's SWAP/CNOT batch is submitted
+ * through `client` into the fleet-wide shared cache, so a sibling
+ * device with byte-identical bases reuses every class synthesis.
+ */
+GateSetSummary summarizeGateSet(const GridDevice &device,
+                                const CalibratedBasisSet &set,
+                                const SynthClient &client,
+                                const SynthOptions &synth,
+                                double t_1q_ns, double t_coherence_ns);
+
 /** Table II cell: one benchmark compiled against one basis set. */
 struct CompiledCircuitResult
 {
@@ -118,6 +141,15 @@ struct CompiledCircuitResult
 CompiledCircuitResult compileAndScore(const GridDevice &device,
                                       const CalibratedBasisSet &set,
                                       DecompositionCache &cache,
+                                      const Circuit &logical,
+                                      const TranspileOptions &opts,
+                                      double t_1q_ns,
+                                      double t_coherence_ns);
+
+/** Fleet-mode Table II cell: compile through the shared cache. */
+CompiledCircuitResult compileAndScore(const GridDevice &device,
+                                      const CalibratedBasisSet &set,
+                                      const SynthClient &client,
                                       const Circuit &logical,
                                       const TranspileOptions &opts,
                                       double t_1q_ns,

@@ -1,0 +1,203 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+namespace {
+
+bool
+mat4BitIdentical(const Mat4 &a, const Mat4 &b)
+{
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            if (a(i, j).real() != b(i, j).real()
+                || a(i, j).imag() != b(i, j).imag())
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+summariesBitIdentical(const GateSetSummary &a, const GateSetSummary &b)
+{
+    return a.label == b.label && a.avg_basis_ns == b.avg_basis_ns
+           && a.avg_swap_ns == b.avg_swap_ns
+           && a.avg_cnot_ns == b.avg_cnot_ns
+           && a.avg_basis_fidelity == b.avg_basis_fidelity
+           && a.avg_swap_fidelity == b.avg_swap_fidelity
+           && a.avg_cnot_fidelity == b.avg_cnot_fidelity
+           && a.avg_swap_layers == b.avg_swap_layers
+           && a.avg_cnot_layers == b.avg_cnot_layers
+           && a.one_q_share_swap == b.one_q_share_swap
+           && a.max_decomposition_infidelity
+                  == b.max_decomposition_infidelity;
+}
+
+bool
+circuitResultsBitIdentical(const CompiledCircuitResult &a,
+                           const CompiledCircuitResult &b)
+{
+    return a.fidelity == b.fidelity && a.makespan_ns == b.makespan_ns
+           && a.swaps_inserted == b.swaps_inserted
+           && a.two_qubit_gates == b.two_qubit_gates
+           && a.depth == b.depth;
+}
+
+} // namespace
+
+bool
+fleetReportsBitIdentical(const FleetReport &a, const FleetReport &b)
+{
+    if (a.devices.size() != b.devices.size())
+        return false;
+    for (size_t d = 0; d < a.devices.size(); ++d) {
+        const FleetDeviceReport &da = a.devices[d];
+        const FleetDeviceReport &db = b.devices[d];
+        if (da.device_id != db.device_id || da.label != db.label)
+            return false;
+        if (da.set.bases.size() != db.set.bases.size())
+            return false;
+        for (size_t e = 0; e < da.set.bases.size(); ++e) {
+            if (da.set.bases[e].duration_ns
+                    != db.set.bases[e].duration_ns
+                || !mat4BitIdentical(da.set.bases[e].gate,
+                                     db.set.bases[e].gate))
+                return false;
+        }
+        for (size_t e = 0; e < da.set.edges.size(); ++e) {
+            const EdgeCalibration &ea = da.set.edges[e];
+            const EdgeCalibration &eb = db.set.edges[e];
+            if (ea.omega_d != eb.omega_d
+                || ea.gate.duration_ns != eb.gate.duration_ns)
+                return false;
+        }
+        if (!summariesBitIdentical(da.summary, db.summary))
+            return false;
+        if (da.circuits.size() != db.circuits.size())
+            return false;
+        for (size_t c = 0; c < da.circuits.size(); ++c) {
+            if (da.circuits[c].name != db.circuits[c].name
+                || !circuitResultsBitIdentical(da.circuits[c].result,
+                                               db.circuits[c].result))
+                return false;
+        }
+    }
+    return true;
+}
+
+FleetDriver::FleetDriver(FleetOptions opts)
+    : opts_(std::move(opts)),
+      pool_(opts_.threads),
+      cache_(opts_.cache_stripes)
+{
+}
+
+FleetDeviceReport
+FleetDriver::runDevice(int device_id, const FleetDeviceSpec &spec,
+                       const std::vector<FleetCircuit> &circuits,
+                       SynthEngine &engine)
+{
+    FleetDeviceReport report;
+    report.device_id = device_id;
+    report.label = spec.label.empty()
+                       ? "dev" + std::to_string(device_id)
+                       : spec.label;
+
+    const GridDevice device(spec.grid);
+
+    DeviceCalibrationOptions calib = opts_.calib;
+    if (spec.apply_drift) {
+        calib.apply_drift = true;
+        calib.drift = spec.drift;
+        calib.drift_seed = Rng::deriveSeed(opts_.seed,
+                                           static_cast<uint64_t>(
+                                               device_id));
+    }
+    report.set = calibrateDevice(device, spec.xi, spec.criterion,
+                                 report.label, calib);
+
+    const SynthClient client{engine, cache_, device_id};
+    report.summary = summarizeGateSet(device, report.set, client,
+                                      opts_.synth, opts_.t_1q_ns,
+                                      opts_.t_coherence_ns);
+
+    report.circuits.reserve(circuits.size());
+    for (const FleetCircuit &fc : circuits) {
+        FleetCircuitResult cr;
+        cr.name = fc.name;
+        TranspileOptions topts = opts_.transpile;
+        topts.synth = opts_.synth; // one options set = one cache key
+        cr.result = compileAndScore(device, report.set, client,
+                                    fc.circuit, topts, opts_.t_1q_ns,
+                                    opts_.t_coherence_ns);
+        report.circuits.push_back(std::move(cr));
+    }
+    return report;
+}
+
+FleetReport
+FleetDriver::run(const std::vector<FleetDeviceSpec> &specs,
+                 const std::vector<FleetCircuit> &circuits)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    FleetReport report;
+    report.devices.resize(specs.size());
+    const int n_devices = static_cast<int>(specs.size());
+    if (n_devices == 0) {
+        report.cache = cache_.stats();
+        return report;
+    }
+
+    const int shards =
+        opts_.shards <= 0 ? n_devices
+                          : std::min(opts_.shards, n_devices);
+    report.shards = shards;
+
+    // One engine per shard, all borrowing the shared pool; one
+    // std::thread per shard (shard threads block in shared-cache
+    // waits and batch joins, so they must not be pool workers).
+    std::vector<std::exception_ptr> errors(
+        static_cast<size_t>(shards));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+        threads.emplace_back([this, s, shards, n_devices, &specs,
+                              &circuits, &report, &errors] {
+            SynthEngine engine(pool_);
+            try {
+                for (int d = s; d < n_devices; d += shards) {
+                    report.devices[static_cast<size_t>(d)] =
+                        runDevice(d, specs[static_cast<size_t>(d)],
+                                  circuits, engine);
+                }
+            } catch (...) {
+                errors[static_cast<size_t>(s)] =
+                    std::current_exception();
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // Rethrow in shard order ~ first failing device order.
+    for (const auto &err : errors) {
+        if (err)
+            std::rethrow_exception(err);
+    }
+
+    report.cache = cache_.stats();
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return report;
+}
+
+} // namespace qbasis

@@ -1,0 +1,152 @@
+#ifndef QBASIS_CORE_FLEET_HPP
+#define QBASIS_CORE_FLEET_HPP
+
+/**
+ * @file
+ * Fleet-level experiment driver: N simulated devices calibrated,
+ * summarized (Table I), and compiled against (Table II) concurrently.
+ *
+ * The driver owns one process-wide ThreadPool and one process-wide
+ * SharedDecompositionCache. Devices are dealt round-robin onto
+ * `shards` shard threads; each shard runs its devices in increasing
+ * device order through its own SynthEngine that *borrows* the shared
+ * pool. Every synthesis job, regardless of originating device, lands
+ * in the shared cache keyed by (basis hash, options, Weyl class) --
+ * so two devices with byte-identical bases (replicated hardware, or
+ * a device whose drift left an edge unchanged) synthesize each class
+ * exactly once fleet-wide.
+ *
+ * Determinism: per-device work only reads fleet-global state through
+ * the shared cache, whose published entries are pure functions of
+ * (class gate, basis, options) with derived RNG streams. Reports are
+ * therefore bit-identical for a fixed seed at 1 shard and at N
+ * shards; see fleetReportsBitIdentical(), which the bench and tests
+ * gate on. Per-device drift streams derive from the fleet seed via
+ * Rng::deriveSeed(seed, device_id), independent of shard layout.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "synth/shared_cache.hpp"
+
+namespace qbasis {
+
+/** One device of the fleet. */
+struct FleetDeviceSpec
+{
+    GridDeviceParams grid;   ///< Device sample (seed may be shared
+                             ///< across devices to model replicated
+                             ///< hardware).
+    double xi = 0.04;        ///< Drive amplitude for calibration.
+    SelectionCriterion criterion = SelectionCriterion::Criterion1;
+    std::string label;       ///< Defaults to "dev<id>".
+    /**
+     * Give this device its own drifted unit-cell parameters: each
+     * edge's PairDeviceParams drifts on a stream derived from the
+     * fleet seed and the device id, so replicated devices with
+     * drift disabled stay byte-identical (and share cache lines)
+     * while drifted ones diverge (and synthesize their own classes).
+     */
+    bool apply_drift = false;
+    DriftModel drift;        ///< Magnitudes when apply_drift is set.
+};
+
+/** A named logical circuit compiled on every device (Table II). */
+struct FleetCircuit
+{
+    std::string name;
+    Circuit circuit;
+};
+
+/** Options of the fleet driver. */
+struct FleetOptions
+{
+    /** Shard threads; <= 0 means one shard per device. */
+    int shards = 0;
+    /** Workers in the shared pool; 0 = hardware concurrency. */
+    int threads = 0;
+    /** Lock stripes of the shared cache. */
+    int cache_stripes = 16;
+    /** Fleet master seed (per-device drift streams derive from it). */
+    uint64_t seed = 2022;
+    DeviceCalibrationOptions calib; ///< Per-device calibration.
+    SynthOptions synth;             ///< Fleet-wide synthesis options
+                                    ///< (part of the cache key: all
+                                    ///< devices must share them to
+                                    ///< share classes).
+    TranspileOptions transpile;     ///< Circuit compilation options.
+    double t_1q_ns = 20.0;
+    double t_coherence_ns = 80e3;
+};
+
+/** One compiled circuit on one device. */
+struct FleetCircuitResult
+{
+    std::string name;
+    CompiledCircuitResult result;
+};
+
+/** Everything the fleet produced for one device. */
+struct FleetDeviceReport
+{
+    int device_id = -1;
+    std::string label;
+    CalibratedBasisSet set;
+    GateSetSummary summary;
+    std::vector<FleetCircuitResult> circuits;
+};
+
+/** Fleet-wide outcome of one run() call. */
+struct FleetReport
+{
+    std::vector<FleetDeviceReport> devices; ///< Indexed by device id.
+    SharedDecompositionCache::Stats cache;  ///< Cumulative stats.
+    int shards = 0;
+    double wall_ms = 0.0;
+};
+
+/**
+ * True when two reports are bit-identical in every result field
+ * (basis matrices, durations, summaries, circuit scores). This is
+ * the determinism contract the bench gates on: a fixed-seed fleet
+ * must produce equal reports at 1 shard and at N shards.
+ */
+bool fleetReportsBitIdentical(const FleetReport &a,
+                              const FleetReport &b);
+
+/** Shard-parallel fleet driver. */
+class FleetDriver
+{
+  public:
+    explicit FleetDriver(FleetOptions opts = {});
+
+    /**
+     * Calibrate + summarize every device and compile every circuit
+     * on it, sharded across threads. Throws the first (device-order)
+     * error if any device fails. The shared cache persists across
+     * run() calls (a warm fleet recompiles without resynthesis);
+     * call cache().clear() between calibration cycles instead.
+     */
+    FleetReport run(const std::vector<FleetDeviceSpec> &specs,
+                    const std::vector<FleetCircuit> &circuits = {});
+
+    SharedDecompositionCache &cache() { return cache_; }
+    ThreadPool &pool() { return pool_; }
+    const FleetOptions &options() const { return opts_; }
+
+  private:
+    FleetDeviceReport
+    runDevice(int device_id, const FleetDeviceSpec &spec,
+              const std::vector<FleetCircuit> &circuits,
+              SynthEngine &engine);
+
+    FleetOptions opts_;
+    ThreadPool pool_;
+    SharedDecompositionCache cache_;
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_CORE_FLEET_HPP

@@ -229,9 +229,40 @@ BatchState::startJob(ClassJob &job)
     }
 }
 
+/**
+ * Run every job to completion on the pool and rethrow the first
+ * (job-order) error once all of them have settled.
+ */
+void
+runJobsOnPool(ThreadPool &pool, const SynthOptions &opts,
+              std::vector<std::unique_ptr<ClassJob>> &jobs)
+{
+    if (jobs.empty())
+        return;
+    BatchState state(pool, opts);
+    state.jobs_remaining = jobs.size();
+    for (auto &job : jobs) {
+        ClassJob *j = job.get();
+        pool.submit([&state, j] { state.startJob(*j); });
+    }
+    std::unique_lock<std::mutex> lock(state.mutex);
+    state.done_cv.wait(lock,
+                       [&state] { return state.jobs_remaining == 0; });
+    for (const auto &job : jobs) {
+        if (job->error)
+            std::rethrow_exception(job->error);
+    }
+}
+
 } // namespace
 
-SynthEngine::SynthEngine(int threads) : pool_(threads) {}
+SynthEngine::SynthEngine(int threads)
+    : owned_(std::make_unique<ThreadPool>(threads)),
+      pool_(owned_.get())
+{
+}
+
+SynthEngine::SynthEngine(ThreadPool &pool) : pool_(&pool) {}
 
 SynthEngine &
 SynthEngine::shared()
@@ -262,7 +293,7 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     // parallel; deterministic because results land in per-index
     // slots).
     std::vector<CanonicalKak> kaks(n);
-    pool_.parallelFor(n, [&](size_t i) {
+    pool_->parallelFor(n, [&](size_t i) {
         kaks[i] = canonicalKakDecompose(requests[i].target);
     });
 
@@ -271,7 +302,6 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     std::vector<DecompositionCache::ClassKey> keys(n);
     std::set<DecompositionCache::ClassKey> scheduled;
     std::vector<std::unique_ptr<ClassJob>> jobs;
-    BatchState state(pool_, opts);
     for (size_t i = 0; i < n; ++i) {
         keys[i] = DecompositionCache::classKey(kaks[i].coords,
                                                requests[i].basis, opts);
@@ -284,34 +314,135 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
         jobs.push_back(std::move(job));
     }
 
-    // Phase 3: run all jobs to completion on the pool.
-    if (!jobs.empty()) {
-        state.jobs_remaining = jobs.size();
-        for (auto &job : jobs) {
-            ClassJob *j = job.get();
-            pool_.submit([&state, j] { state.startJob(*j); });
-        }
-        std::unique_lock<std::mutex> lock(state.mutex);
-        state.done_cv.wait(
-            lock, [&state] { return state.jobs_remaining == 0; });
-        for (const auto &job : jobs) {
-            if (job->error)
-                std::rethrow_exception(job->error);
-        }
-        // Insert in job order (= first-appearance order) so cache
-        // contents never depend on completion order.
-        for (auto &job : jobs)
-            cache.storeClass(job->key, std::move(job->result));
-    }
+    // Phase 3: run all jobs to completion on the pool, then insert in
+    // job order (= first-appearance order) so cache contents never
+    // depend on completion order.
+    runJobsOnPool(*pool_, opts, jobs);
+    for (auto &job : jobs)
+        cache.storeClass(job->key, std::move(job->result));
     cache.noteHits(n - jobs.size());
 
     // Phase 4: dress every request from its class decomposition.
-    pool_.parallelFor(n, [&](size_t i) {
+    pool_->parallelFor(n, [&](size_t i) {
         const TwoQubitDecomposition *cls = cache.peekClass(keys[i]);
         if (cls == nullptr)
             panic("SynthEngine: class missing after batch");
         results[i] = DecompositionCache::dressClassDecomposition(
             *cls, kaks[i], requests[i].target);
+    });
+    return results;
+}
+
+std::vector<TwoQubitDecomposition>
+SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
+                             SharedDecompositionCache &cache,
+                             const SynthOptions &opts, int device_id)
+{
+    using ClassKey = DecompositionCache::ClassKey;
+    const size_t n = requests.size();
+    std::vector<TwoQubitDecomposition> results(n);
+    if (n == 0)
+        return results;
+
+    // Phase 1: canonical KAK of every target.
+    std::vector<CanonicalKak> kaks(n);
+    pool_->parallelFor(n, [&](size_t i) {
+        kaks[i] = canonicalKakDecompose(requests[i].target);
+    });
+
+    // Phase 2: collapse the batch onto unique classes in
+    // first-appearance order, then acquire each against the shared
+    // cache: published classes resolve immediately, unclaimed ones
+    // become this client's jobs, and classes a concurrent client is
+    // already synthesizing are awaited in phase 3b instead of being
+    // synthesized twice.
+    std::vector<ClassKey> keys(n);
+    std::vector<ClassKey> order;
+    std::map<ClassKey, uint64_t> lookups;
+    std::map<ClassKey, Mat4> basis_of;
+    for (size_t i = 0; i < n; ++i) {
+        keys[i] = DecompositionCache::classKey(kaks[i].coords,
+                                               requests[i].basis, opts);
+        if (lookups[keys[i]]++ == 0) {
+            order.push_back(keys[i]);
+            basis_of.emplace(keys[i], requests[i].basis);
+        }
+    }
+
+    std::map<ClassKey, const TwoQubitDecomposition *> resolved;
+    std::vector<ClassKey> pending;
+    std::vector<std::unique_ptr<ClassJob>> jobs;
+    for (const ClassKey &key : order) {
+        const TwoQubitDecomposition *dec = nullptr;
+        switch (cache.acquire(key, device_id, lookups[key], &dec)) {
+        case SharedDecompositionCache::Claim::Ready:
+            resolved[key] = dec;
+            break;
+        case SharedDecompositionCache::Claim::Owner: {
+            auto job = std::make_unique<ClassJob>();
+            job->key = key;
+            job->class_gate = DecompositionCache::classGate(key);
+            job->basis = basis_of.at(key);
+            jobs.push_back(std::move(job));
+            break;
+        }
+        case SharedDecompositionCache::Claim::Pending:
+            pending.push_back(key);
+            break;
+        }
+    }
+
+    // Phase 3: run the owned jobs; publish in job order. On error,
+    // release every claim so concurrent waiters can take over.
+    try {
+        runJobsOnPool(*pool_, opts, jobs);
+    } catch (...) {
+        for (const auto &job : jobs)
+            cache.abandon(job->key);
+        throw;
+    }
+    for (auto &job : jobs)
+        resolved[job->key] = cache.publish(job->key,
+                                           std::move(job->result));
+
+    // Phase 3b: await classes owned by concurrent clients. This
+    // thread must not be a pool worker (clients are shard threads),
+    // so the owner's jobs keep making progress underneath the wait.
+    for (const ClassKey &key : pending) {
+        const TwoQubitDecomposition *dec =
+            cache.wait(key, lookups.at(key));
+        while (dec == nullptr) {
+            // The concurrent owner abandoned (its batch threw):
+            // recover by re-claiming; synthesis is deterministic, so
+            // the serial fallback publishes the same bytes the owner
+            // would have.
+            switch (cache.acquire(key, device_id, 0, &dec)) {
+            case SharedDecompositionCache::Claim::Ready:
+                break;
+            case SharedDecompositionCache::Claim::Owner:
+                try {
+                    dec = cache.publish(
+                        key, synthesizeGate(
+                                 DecompositionCache::classGate(key),
+                                 basis_of.at(key), opts));
+                } catch (...) {
+                    cache.abandon(key);
+                    throw;
+                }
+                break;
+            case SharedDecompositionCache::Claim::Pending:
+                dec = cache.wait(key, 0);
+                break;
+            }
+        }
+        resolved[key] = dec;
+    }
+
+    // Phase 4: dress every request from its class decomposition
+    // (read-only over `resolved`; pointers are stable until clear()).
+    pool_->parallelFor(n, [&](size_t i) {
+        results[i] = DecompositionCache::dressClassDecomposition(
+            *resolved.at(keys[i]), kaks[i], requests[i].target);
     });
     return results;
 }

@@ -27,9 +27,11 @@
  * completion time, and cache insertion happens in submission order.
  */
 
+#include <memory>
 #include <vector>
 
 #include "synth/cache.hpp"
+#include "synth/shared_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace qbasis {
@@ -50,6 +52,13 @@ class SynthEngine
     explicit SynthEngine(int threads = 0);
 
     /**
+     * Create an engine on a borrowed pool (the fleet driver runs one
+     * engine per shard on one process-wide pool). The pool must
+     * outlive the engine.
+     */
+    explicit SynthEngine(ThreadPool &pool);
+
+    /**
      * Synthesize every request, using and filling `cache`.
      *
      * Returns one decomposition per request, in request order. The
@@ -61,8 +70,27 @@ class SynthEngine
                     DecompositionCache &cache,
                     const SynthOptions &opts);
 
+    /**
+     * Multi-client batch submission against the fleet-wide shared
+     * cache, on behalf of device `device_id`.
+     *
+     * Safe to call concurrently from multiple (non-pool) threads on
+     * the same engine or on sibling engines sharing the pool. Classes
+     * already claimed by a concurrent batch are awaited rather than
+     * re-synthesized, so each class is synthesized once per process.
+     * Results are bit-identical to the single-device path for a fixed
+     * SynthOptions::seed, independent of shard count, as long as
+     * clients sharing a class hash use byte-identical basis matrices
+     * (true for replicated fleet devices; sub-1e-9 basis differences
+     * would share the class anyway by construction of the key).
+     */
+    std::vector<TwoQubitDecomposition>
+    synthesizeBatch(const std::vector<SynthRequest> &requests,
+                    SharedDecompositionCache &cache,
+                    const SynthOptions &opts, int device_id = 0);
+
     /** Worker threads in the pool. */
-    int threadCount() const { return pool_.size(); }
+    int threadCount() const { return pool_->size(); }
 
     /**
      * Process-wide engine sized from QBASIS_SYNTH_THREADS (or the
@@ -72,7 +100,30 @@ class SynthEngine
     static SynthEngine &shared();
 
   private:
-    ThreadPool pool_;
+    std::unique_ptr<ThreadPool> owned_; ///< Null for borrowed pools.
+    ThreadPool *pool_;
+};
+
+/**
+ * One synthesis client: a device's submissions routed through a
+ * (per-shard) engine into the fleet-wide shared cache. Experiment
+ * drivers, the transpiler, and the bench drivers all submit through
+ * this handle, which is what lets identical bases on different
+ * devices dedupe onto one synthesis.
+ */
+struct SynthClient
+{
+    SynthEngine &engine;
+    SharedDecompositionCache &cache;
+    int device_id = 0;
+
+    std::vector<TwoQubitDecomposition>
+    synthesizeBatch(const std::vector<SynthRequest> &requests,
+                    const SynthOptions &opts) const
+    {
+        return engine.synthesizeBatch(requests, cache, opts,
+                                      device_id);
+    }
 };
 
 } // namespace qbasis

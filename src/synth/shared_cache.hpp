@@ -1,0 +1,173 @@
+#ifndef QBASIS_SYNTH_SHARED_CACHE_HPP
+#define QBASIS_SYNTH_SHARED_CACHE_HPP
+
+/**
+ * @file
+ * Process-wide, thread-safe Weyl-class decomposition cache shared by
+ * every device of a fleet.
+ *
+ * Keys are the same (basis hash, options hash, quantized canonical
+ * coords) classes as DecompositionCache, so identical bases on
+ * *different* devices collapse onto one cache line: fleet compilation
+ * dedupes across shards instead of paying an N-device cost
+ * multiplier. The map is striped -- each stripe owns a mutex, a
+ * condition variable, and a node-based map -- so concurrent shards
+ * contend only when they touch the same stripe.
+ *
+ * In-flight dedupe: the first client to miss a class *claims* it
+ * (Claim::Owner) and must publish() the synthesized decomposition (or
+ * abandon() it on error). Clients that request the class while the
+ * owner is still synthesizing get Claim::Pending and block in wait()
+ * instead of re-synthesizing -- a class is synthesized exactly once
+ * per process no matter how many shards race on it.
+ *
+ * Determinism: synthesis is a pure function of (class gate, basis,
+ * options) with derived RNG streams, so whichever shard wins the
+ * claim publishes bit-identical bytes; fleet results therefore do not
+ * depend on shard count or scheduling. Counters are deterministic
+ * too: misses() equals the number of distinct classes and hits()
+ * equals lookups minus misses regardless of claim order. Cross-device
+ * statistics are defined against each class's lowest-numbered device
+ * (not the racy claim winner) so they are schedule-independent as
+ * well.
+ *
+ * Pointer stability: published decompositions live in map nodes and
+ * stay valid until clear(); clear() must not run while any batch is
+ * in flight.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "synth/cache.hpp"
+
+namespace qbasis {
+
+/** Striped-lock Weyl-class cache shared across fleet devices. */
+class SharedDecompositionCache
+{
+  public:
+    using ClassKey = DecompositionCache::ClassKey;
+
+    /** Outcome of an acquire() call. */
+    enum class Claim
+    {
+        Ready,   ///< Published; *out points at the decomposition.
+        Owner,   ///< Caller claimed the class: publish() or abandon().
+        Pending, ///< Another client is synthesizing: wait().
+    };
+
+    /** @param stripes lock-stripe count (clamped to >= 1). */
+    explicit SharedDecompositionCache(int stripes = 16);
+
+    /**
+     * Look up (or claim) a class on behalf of `device`, crediting
+     * `lookups` batched requests that collapse onto it (hit/miss
+     * counters advance as if the requests were looked up serially:
+     * one miss for a claim, hits for everything else).
+     */
+    Claim acquire(const ClassKey &key, int device, uint64_t lookups,
+                  const TwoQubitDecomposition **out);
+
+    /**
+     * Publish the owner's synthesized class; wakes every waiter.
+     * Returns the stable in-cache pointer.
+     */
+    const TwoQubitDecomposition *publish(const ClassKey &key,
+                                         TwoQubitDecomposition dec);
+
+    /**
+     * Give up a claim without publishing (synthesis threw). Waiters
+     * wake with nullptr and re-acquire; one of them becomes the new
+     * owner.
+     */
+    void abandon(const ClassKey &key);
+
+    /**
+     * Block until `key` is published (crediting `lookups` hits), or
+     * return nullptr if the owner abandoned it -- the caller should
+     * then re-acquire. Must only be called after Claim::Pending.
+     */
+    const TwoQubitDecomposition *wait(const ClassKey &key,
+                                      uint64_t lookups);
+
+    /** Aggregate fleet statistics (scans all stripes). */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        size_t classes = 0;
+        /** Classes looked up by two or more distinct devices. */
+        size_t multi_device_classes = 0;
+        /**
+         * Lookups served to devices other than each class's
+         * lowest-numbered device -- the work the fleet did NOT
+         * re-synthesize thanks to cross-device sharing. Deterministic
+         * by construction (independent of which device won the
+         * claim).
+         */
+        uint64_t cross_device_hits = 0;
+
+        double
+        hitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total > 0 ? static_cast<double>(hits)
+                                   / static_cast<double>(total)
+                             : 0.0;
+        }
+
+        double
+        crossDeviceHitRate() const
+        {
+            const uint64_t total = hits + misses;
+            return total > 0 ? static_cast<double>(cross_device_hits)
+                                   / static_cast<double>(total)
+                             : 0.0;
+        }
+    };
+
+    Stats stats() const;
+
+    uint64_t hits() const { return hits_.load(); }
+    uint64_t misses() const { return misses_.load(); }
+
+    /** Published classes across all stripes. */
+    size_t size() const;
+
+    /** Drop everything. No batch may be in flight. */
+    void clear();
+
+  private:
+    /** One class entry; lives in a stable map node. */
+    struct Entry
+    {
+        bool ready = false; ///< false while the owner synthesizes.
+        TwoQubitDecomposition dec;
+        /** Lookup counts per device id (fleets are small). */
+        std::vector<std::pair<int, uint64_t>> device_lookups;
+
+        void credit(int device, uint64_t lookups);
+    };
+
+    struct Stripe
+    {
+        mutable std::mutex mutex;
+        std::condition_variable cv;
+        std::map<ClassKey, Entry> entries;
+    };
+
+    Stripe &stripeOf(const ClassKey &key);
+    const Stripe &stripeOf(const ClassKey &key) const;
+
+    std::vector<std::unique_ptr<Stripe>> stripes_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace qbasis
+
+#endif // QBASIS_SYNTH_SHARED_CACHE_HPP

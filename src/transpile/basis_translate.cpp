@@ -1,6 +1,7 @@
 #include "transpile/basis_translate.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/logging.hpp"
 #include "weyl/gates.hpp"
@@ -43,6 +44,60 @@ orientedTarget(const Gate &g, const CouplingMap &cm, int eid)
     if (g.qubits[0] != lo)
         target = swapConjugate(target);
     return target;
+}
+
+/**
+ * Shared emission loop: rewrite every 2Q gate using `dec_of`, which
+ * returns the decomposition of the idx-th 2Q gate (in circuit order).
+ */
+Circuit
+emitTranslation(const Circuit &physical, const CouplingMap &cm,
+                const std::vector<EdgeBasis> &bases,
+                BasisTranslationStats *stats,
+                const std::function<TwoQubitDecomposition(
+                    const Gate &, int, size_t)> &dec_of)
+{
+    Circuit out(physical.numQubits());
+    BasisTranslationStats local_stats;
+    size_t next_2q = 0;
+
+    for (const Gate &g : physical.gates()) {
+        if (!g.isTwoQubit()) {
+            out.append(g);
+            continue;
+        }
+        const int eid = edgeIdOf(g, cm);
+        const auto [lo, hi] = cm.edges()[eid];
+
+        const TwoQubitDecomposition dec = dec_of(g, eid, next_2q++);
+        if (dec.infidelity > 1e-6) {
+            warn("translate: decomposition infidelity %.2e on edge "
+                 "%d for gate '%s'", dec.infidelity, eid,
+                 g.name().c_str());
+        }
+
+        // Emit K_0, then (B, K_j) pairs; locals[j].q1 acts on `lo`.
+        out.unitary1q(lo, dec.locals[0].q1, "u");
+        out.unitary1q(hi, dec.locals[0].q0, "u");
+        for (int layer = 0; layer < dec.layers(); ++layer) {
+            out.unitary2q(lo, hi, dec.basis[layer],
+                          bases[static_cast<size_t>(eid)].label.empty()
+                              ? "basis"
+                              : bases[static_cast<size_t>(eid)].label);
+            out.unitary1q(lo, dec.locals[layer + 1].q1, "u");
+            out.unitary1q(hi, dec.locals[layer + 1].q0, "u");
+        }
+
+        ++local_stats.translated_2q;
+        local_stats.total_layers +=
+            static_cast<size_t>(dec.layers());
+        local_stats.max_infidelity =
+            std::max(local_stats.max_infidelity, dec.infidelity);
+    }
+
+    if (stats)
+        *stats = local_stats;
+    return out;
 }
 
 } // namespace
@@ -88,54 +143,37 @@ translateToEdgeBases(const Circuit &physical, const CouplingMap &cm,
             collectSynthRequests(physical, cm, bases), cache,
             synth_opts);
     }
+    return emitTranslation(
+        physical, cm, bases, stats,
+        [&](const Gate &g, int eid, size_t idx) {
+            return engine != nullptr
+                       ? std::move(batched[idx])
+                       : cache.getOrSynthesize(
+                             eid, orientedTarget(g, cm, eid),
+                             bases[static_cast<size_t>(eid)].gate,
+                             synth_opts);
+        });
+}
 
-    Circuit out(physical.numQubits());
-    BasisTranslationStats local_stats;
-    size_t next_2q = 0;
+Circuit
+translateToEdgeBases(const Circuit &physical, const CouplingMap &cm,
+                     const std::vector<EdgeBasis> &bases,
+                     const SynthClient &client,
+                     const SynthOptions &synth_opts,
+                     BasisTranslationStats *stats)
+{
+    if (bases.size() != cm.edges().size())
+        fatal("edge basis table size %zu != edge count %zu",
+              bases.size(), cm.edges().size());
 
-    for (const Gate &g : physical.gates()) {
-        if (!g.isTwoQubit()) {
-            out.append(g);
-            continue;
-        }
-        const int eid = edgeIdOf(g, cm);
-        const auto [lo, hi] = cm.edges()[eid];
-
-        const TwoQubitDecomposition dec =
-            engine != nullptr
-                ? std::move(batched[next_2q++])
-                : cache.getOrSynthesize(
-                      eid, orientedTarget(g, cm, eid),
-                      bases[static_cast<size_t>(eid)].gate,
-                      synth_opts);
-        if (dec.infidelity > 1e-6) {
-            warn("translate: decomposition infidelity %.2e on edge "
-                 "%d for gate '%s'", dec.infidelity, eid,
-                 g.name().c_str());
-        }
-
-        // Emit K_0, then (B, K_j) pairs; locals[j].q1 acts on `lo`.
-        out.unitary1q(lo, dec.locals[0].q1, "u");
-        out.unitary1q(hi, dec.locals[0].q0, "u");
-        for (int layer = 0; layer < dec.layers(); ++layer) {
-            out.unitary2q(lo, hi, dec.basis[layer],
-                          bases[static_cast<size_t>(eid)].label.empty()
-                              ? "basis"
-                              : bases[static_cast<size_t>(eid)].label);
-            out.unitary1q(lo, dec.locals[layer + 1].q1, "u");
-            out.unitary1q(hi, dec.locals[layer + 1].q0, "u");
-        }
-
-        ++local_stats.translated_2q;
-        local_stats.total_layers +=
-            static_cast<size_t>(dec.layers());
-        local_stats.max_infidelity =
-            std::max(local_stats.max_infidelity, dec.infidelity);
-    }
-
-    if (stats)
-        *stats = local_stats;
-    return out;
+    // Fleet path: always batched, against the shared cross-device
+    // cache, on the client's shard engine.
+    std::vector<TwoQubitDecomposition> batched = client.synthesizeBatch(
+        collectSynthRequests(physical, cm, bases), synth_opts);
+    return emitTranslation(physical, cm, bases, stats,
+                           [&](const Gate &, int, size_t idx) {
+                               return std::move(batched[idx]);
+                           });
 }
 
 DurationModel

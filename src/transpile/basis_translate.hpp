@@ -67,6 +67,18 @@ Circuit translateToEdgeBases(const Circuit &physical,
                              SynthEngine *engine = nullptr);
 
 /**
+ * Fleet-mode translation: decompositions are batch-synthesized
+ * through `client` into the fleet-wide shared cache, so identical
+ * bases on other devices dedupe onto already-synthesized classes.
+ */
+Circuit translateToEdgeBases(const Circuit &physical,
+                             const CouplingMap &cm,
+                             const std::vector<EdgeBasis> &bases,
+                             const SynthClient &client,
+                             const SynthOptions &synth_opts,
+                             BasisTranslationStats *stats = nullptr);
+
+/**
  * Duration model for translated circuits: 1Q gates take t_1q_ns,
  * 2Q gates take their edge's calibrated basis duration.
  *

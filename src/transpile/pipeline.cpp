@@ -30,4 +30,28 @@ transpileCircuit(const Circuit &logical, const CouplingMap &cm,
     return result;
 }
 
+TranspileResult
+transpileCircuit(const Circuit &logical, const CouplingMap &cm,
+                 const std::vector<EdgeBasis> &bases,
+                 const SynthClient &client,
+                 const TranspileOptions &opts)
+{
+    TranspileResult result;
+
+    const std::vector<int> layout =
+        sabreLayout(logical, cm, opts.layout_iterations, opts.sabre);
+    RoutedCircuit routed = sabreRoute(logical, cm, layout, opts.sabre);
+
+    result.initial_layout = routed.initial_layout;
+    result.final_layout = routed.final_layout;
+    result.swaps_inserted = routed.swaps_inserted;
+
+    const Circuit merged = mergeSingleQubitRuns(routed.circuit);
+    const Circuit translated =
+        translateToEdgeBases(merged, cm, bases, client, opts.synth,
+                             &result.translation);
+    result.physical = mergeSingleQubitRuns(translated);
+    return result;
+}
+
 } // namespace qbasis

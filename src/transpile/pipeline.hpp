@@ -57,6 +57,18 @@ TranspileResult transpileCircuit(const Circuit &logical,
                                  DecompositionCache &cache,
                                  const TranspileOptions &opts = {});
 
+/**
+ * Fleet-mode pipeline: synthesis is batched through `client` (a
+ * per-shard engine bound to the fleet-wide shared cache), so
+ * compiling the same circuit against identical bases on another
+ * device reuses every Weyl-class decomposition.
+ */
+TranspileResult transpileCircuit(const Circuit &logical,
+                                 const CouplingMap &cm,
+                                 const std::vector<EdgeBasis> &bases,
+                                 const SynthClient &client,
+                                 const TranspileOptions &opts = {});
+
 } // namespace qbasis
 
 #endif // QBASIS_TRANSPILE_PIPELINE_HPP
