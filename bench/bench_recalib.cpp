@@ -1,0 +1,438 @@
+/**
+ * @file
+ * Async-recalibration benchmark: drift cycles on a fleet where
+ * per-edge retuning either stalls compilation (the synchronous
+ * baseline) or overlaps with it (the RecalibScheduler pipeline).
+ * Emits BENCH_recalib.json for the CI bench gate
+ * (scripts/check_bench.py).
+ *
+ * The synchronous baseline models the repo's documented pre-subsystem
+ * cycle practice (see examples/calibration_cycle.cpp and the
+ * FleetDriver::run() docs): every cycle clears the Weyl-class cache
+ * ("the cache is rebuilt against the refreshed gate") and all
+ * compilation waits behind the retune drain. The async mode never
+ * clears -- basis-hash cache keys keep classes of the old and new
+ * basis coexisting -- and compiles immediately against each edge's
+ * last published basis while the RecalibScheduler's
+ * simulate/select/resynthesize pipelines run in the pool's
+ * Background lane. The speedup therefore has two sources: avoided
+ * resynthesis (only genuinely new bases synthesize classes) and
+ * recalibration/compilation overlap (visible in overlap_ratio; on a
+ * multi-core runner it also compounds the wall-time win).
+ *
+ * Determinism gate: the post-cycle report (published calibrations +
+ * verification compiles after the drain) must be bit-identical
+ * between the synchronous 1-shard run and the fully overlapped
+ * N-shard run.
+ *
+ * Usage: bench_recalib [--quick|--smoke] [--threads N]
+ *
+ * JSON schema (BENCH_recalib.json):
+ * {
+ *   "quick": bool, "smoke": bool, "threads": int,
+ *   "fleet": { "devices": int, "edges_per_device": int,
+ *              "cycles": int, "recalibrated_edges": int },
+ *   "sync":  { "wall_ms": double, "recalib_ms": double,
+ *              "compile_ms": double, "compile_stall_ms": double },
+ *   "async": { "wall_ms": double, "compile_ms": double,
+ *              "compile_stall_ms": double,
+ *              "overlap_ratio": double,  // fraction of the serving
+ *                                        // window with recalibration
+ *                                        // in flight (sync: 0)
+ *              "presynth_owned": int, "restarts_pruned": int },
+ *   "speedup": double,            // sync.wall / async.wall
+ *   "determinism": { "shards_sync": 1, "shards_async": int,
+ *                    "results_match": bool }
+ * }
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/bv.hpp"
+#include "apps/qaoa.hpp"
+#include "apps/qft.hpp"
+#include "core/fleet.hpp"
+#include "synth/depth_cache.hpp"
+#include "util/logging.hpp"
+
+using namespace qbasis;
+
+namespace {
+
+/** Bench-scale synthesis settings (cheap but converging). */
+SynthOptions
+benchSynth()
+{
+    SynthOptions s;
+    s.restarts = 3;
+    s.adam_iters = 350;
+    s.polish_iters = 120;
+    s.max_layers = 4;
+    s.target_infidelity = 1e-8;
+    return s;
+}
+
+/**
+ * Exit-code sanity bound on the overlapped compile path's stall
+ * time. Deliberately looser than the CI floor: the authoritative
+ * gate is max_compile_stall_ms in bench/baselines.json (enforced by
+ * scripts/check_bench.py); this constant only catches gross
+ * regressions in smoke runs that never reach the gate.
+ */
+constexpr double kStallSanityCeilingMs = 5.0;
+
+struct BenchConfig
+{
+    int devices = 4;
+    int cycles = 3;
+    int edge_limit = -1; ///< Edges simulated by the initial tuneup.
+    double recalibrate_fraction = 0.35;
+    int threads = 0;
+    uint64_t drift_seed = 777;
+};
+
+FleetOptions
+benchFleetOptions(const BenchConfig &cfg, int shards)
+{
+    FleetOptions opts;
+    opts.shards = shards;
+    opts.threads = cfg.threads;
+    opts.synth = benchSynth();
+    opts.calib.edge_limit = cfg.edge_limit;
+    // Bench-scale simulator settings: coarser integration and a
+    // shorter drive probe keep the trajectory stage cheap relative
+    // to synthesis. Identical in both modes, so the determinism
+    // comparison is unaffected.
+    opts.calib.sim.dt = 0.01;
+    opts.calib.sim.probe_dt = 0.04;
+    opts.calib.sim.probe_duration = 60.0;
+    opts.calib.sim.drive_scan_points = 7;
+    return opts;
+}
+
+std::vector<FleetDeviceSpec>
+benchFleet(int devices)
+{
+    std::vector<FleetDeviceSpec> specs;
+    specs.reserve(static_cast<size_t>(devices));
+    for (int d = 0; d < devices; ++d) {
+        FleetDeviceSpec spec;
+        spec.grid.rows = 2;
+        spec.grid.cols = 2;
+        spec.grid.seed = 31 + static_cast<uint64_t>(d);
+        spec.xi = 0.04;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+/** Deterministic drifted-edge requests of one cycle, fleet-wide. */
+std::vector<RecalibEdgeRequest>
+cycleRequests(const FleetDriver &driver, const BenchConfig &cfg,
+              uint64_t cycle, int *total_requests)
+{
+    std::vector<RecalibEdgeRequest> requests;
+    for (size_t d = 0; d < driver.deviceCount(); ++d) {
+        const FleetDeviceState &state =
+            driver.device(static_cast<int>(d));
+        const int n_edges =
+            static_cast<int>(state.device.coupling().edges().size());
+        DriftCycleOptions dopts;
+        dopts.recalibrate_fraction = cfg.recalibrate_fraction;
+        dopts.seed = Rng::deriveSeed(cfg.drift_seed,
+                                     static_cast<uint64_t>(d));
+        DriftCycle drift(n_edges, dopts);
+        DriftCycle::Step step;
+        for (uint64_t c = 0; c < cycle; ++c)
+            step = drift.advance();
+        for (const int e : step.drifted_edges) {
+            RecalibEdgeRequest req;
+            req.device_id = static_cast<int>(d);
+            req.edge_id = e;
+            req.cycle = cycle;
+            req.params = drift.paramsAt(state.device.edgeParams(e), e,
+                                        cycle);
+            requests.push_back(std::move(req));
+        }
+    }
+    if (total_requests != nullptr)
+        *total_requests += static_cast<int>(requests.size());
+    return requests;
+}
+
+struct ModeResult
+{
+    double wall_ms = 0.0;
+    double recalib_ms = 0.0;       ///< Sync: serialized retune time.
+    double compile_ms = 0.0;
+    double compile_stall_ms = 0.0; ///< Time compiles waited on
+                                   ///< recalibration state.
+    double overlap_ratio = 0.0;    ///< Mean over cycles (async).
+    int recalibrated_edges = 0;
+    RecalibScheduler::Stats sched;
+    SynthEngine::Stats engine;
+    RecalibCycleReport post;       ///< Post-drain report, last cycle.
+};
+
+/**
+ * Run `cycles` drift cycles. `overlap` selects the async mode
+ * (compile immediately, drain after); the baseline drains first and
+ * clears the class cache per cycle, reproducing the synchronous
+ * invalidation flow this subsystem replaces.
+ */
+ModeResult
+runMode(const BenchConfig &cfg, int shards, bool overlap,
+        const std::vector<FleetCircuit> &circuits,
+        const std::vector<FleetCircuit> &verify)
+{
+    // Both modes start with a cold process-wide depth-oracle cache:
+    // verdicts computed by whichever mode runs first must not
+    // subsidize the other side of the speedup comparison.
+    DepthOracleCache::shared().clear();
+    FleetDriver driver(benchFleetOptions(cfg, shards));
+    driver.initDevices(benchFleet(cfg.devices));
+    // Warm serving state: a live fleet has compiled its workload
+    // before the drift cycle begins (untimed, both modes). The
+    // synchronous baseline's per-cycle invalidation discards this
+    // warmth -- that is precisely the cost being measured.
+    driver.compileCircuits(circuits);
+
+    ModeResult r;
+    double overlap_sum = 0.0;
+    int overlap_cycles = 0;
+    for (int c = 1; c <= cfg.cycles; ++c) {
+        const std::vector<RecalibEdgeRequest> requests =
+            cycleRequests(driver, cfg, static_cast<uint64_t>(c),
+                          &r.recalibrated_edges);
+        const double t_cycle = driver.recalibNowMs();
+        if (!overlap) {
+            // Synchronous baseline: invalidate, retune, stall, then
+            // compile.
+            driver.cache().clear();
+            driver.recalibrate(requests);
+            driver.drainRecalibration();
+            const double t_drained = driver.recalibNowMs();
+            r.recalib_ms += t_drained - t_cycle;
+            r.compile_stall_ms += t_drained - t_cycle;
+            const FleetCompilePass pass =
+                driver.compileCircuits(circuits);
+            r.compile_ms += pass.wall_ms;
+            r.compile_stall_ms += pass.snapshot_wait_ms;
+        } else {
+            // Overlapped: schedule, serve immediately, drain last.
+            driver.resetRecalibWindow();
+            const double s0 = driver.recalibNowMs();
+            driver.recalibrate(requests);
+            const double c0 = driver.recalibNowMs();
+            const FleetCompilePass pass =
+                driver.compileCircuits(circuits);
+            const double c1 = driver.recalibNowMs();
+            r.compile_ms += pass.wall_ms;
+            r.compile_stall_ms += pass.snapshot_wait_ms;
+            driver.drainRecalibration();
+            // Overlap ratio: fraction of the serving window during
+            // which recalibration was in flight (scheduled but not
+            // yet fully published). The synchronous baseline is 0 by
+            // construction -- it drains before serving resumes.
+            const RecalibScheduler::Stats st = driver.recalibStats();
+            if (c1 > c0 && !requests.empty()) {
+                const double recalib_end =
+                    std::max(st.window_end_ms, s0);
+                const double lo = std::max(s0, c0);
+                const double hi = std::min(recalib_end, c1);
+                overlap_sum += std::max(0.0, hi - lo) / (c1 - c0);
+                ++overlap_cycles;
+            }
+        }
+        r.wall_ms += driver.recalibNowMs() - t_cycle;
+    }
+    if (overlap_cycles > 0)
+        r.overlap_ratio = overlap_sum / overlap_cycles;
+    r.sched = driver.recalibStats();
+    r.post = driver.cycleReport(static_cast<uint64_t>(cfg.cycles),
+                                verify);
+    r.engine = driver.engineStats();
+    return r;
+}
+
+void
+writeJson(const char *path, bool quick, bool smoke,
+          const BenchConfig &cfg, int edges_per_device,
+          const ModeResult &sync, const ModeResult &async_r,
+          int shards_async, bool results_match,
+          uint64_t restarts_pruned)
+{
+    FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("bench_recalib: cannot write %s", path);
+        return;
+    }
+    std::fprintf(
+        f,
+        "{\n  \"quick\": %s,\n  \"smoke\": %s,\n"
+        "  \"threads\": %d,\n"
+        "  \"fleet\": {\n"
+        "    \"devices\": %d,\n"
+        "    \"edges_per_device\": %d,\n"
+        "    \"cycles\": %d,\n"
+        "    \"recalibrated_edges\": %d\n  },\n"
+        "  \"sync\": {\n"
+        "    \"wall_ms\": %.3f,\n"
+        "    \"recalib_ms\": %.3f,\n"
+        "    \"compile_ms\": %.3f,\n"
+        "    \"compile_stall_ms\": %.3f\n  },\n"
+        "  \"async\": {\n"
+        "    \"wall_ms\": %.3f,\n"
+        "    \"compile_ms\": %.3f,\n"
+        "    \"compile_stall_ms\": %.3f,\n"
+        "    \"overlap_ratio\": %.4f,\n"
+        "    \"presynth_owned\": %llu,\n"
+        "    \"restarts_pruned\": %llu\n  },\n"
+        "  \"speedup\": %.4f,\n"
+        "  \"determinism\": {\n"
+        "    \"shards_sync\": 1,\n"
+        "    \"shards_async\": %d,\n"
+        "    \"results_match\": %s\n  }\n}\n",
+        quick ? "true" : "false", smoke ? "true" : "false",
+        cfg.threads, cfg.devices, edges_per_device, cfg.cycles,
+        async_r.recalibrated_edges, sync.wall_ms, sync.recalib_ms,
+        sync.compile_ms, sync.compile_stall_ms, async_r.wall_ms,
+        async_r.compile_ms, async_r.compile_stall_ms,
+        async_r.overlap_ratio,
+        static_cast<unsigned long long>(async_r.sched.presynth_owned),
+        static_cast<unsigned long long>(restarts_pruned),
+        async_r.wall_ms > 0.0 ? sync.wall_ms / async_r.wall_ms : 0.0,
+        shards_async, results_match ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool smoke = false;
+    BenchConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--threads") == 0
+                 && i + 1 < argc)
+            cfg.threads = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr, "usage: bench_recalib "
+                                 "[--quick|--smoke] [--threads N]\n");
+            return 2;
+        }
+    }
+
+    setLogLevel(LogLevel::Warn);
+    std::printf("=== bench_recalib: async per-edge retuning vs the "
+                "synchronous cycle ===\n");
+    std::printf("mode: %s\n",
+                smoke ? "smoke" : quick ? "quick" : "full");
+
+    if (smoke) {
+        cfg.devices = 2;
+        cfg.cycles = 1;
+        cfg.edge_limit = 1;
+    } else if (quick) {
+        cfg.devices = 4;
+        cfg.cycles = 2;
+        cfg.edge_limit = 1;
+    } else {
+        cfg.devices = 4;
+        cfg.cycles = 3;
+        cfg.edge_limit = -1;
+    }
+
+    // Serving workload: distinct CPhase/RZZ angles populate many
+    // Weyl classes per basis, which is exactly the resynthesis bill
+    // the synchronous per-cycle invalidation pays over and over.
+    std::vector<FleetCircuit> circuits;
+    circuits.push_back({"qft4", qftCircuit(4)});
+    circuits.push_back({"bv3", bvAllOnesCircuit(3)});
+    for (int k = 0; k < (smoke ? 1 : 4); ++k) {
+        QaoaParams qp;
+        qp.gamma = 0.3 + 0.2 * k;
+        qp.beta = 0.25;
+        circuits.push_back(
+            {"qaoa4_g" + std::to_string(k),
+             qaoaErdosRenyiCircuit(4, 0.5, qp)});
+    }
+    std::vector<FleetCircuit> verify;
+    verify.push_back({"qft3", qftCircuit(3)});
+
+    const int shards_async = cfg.devices;
+
+    std::printf("[sync] %d devices, %d cycle%s, 1 shard...\n",
+                cfg.devices, cfg.cycles, cfg.cycles == 1 ? "" : "s");
+    const ModeResult sync =
+        runMode(cfg, 1, /*overlap=*/false, circuits, verify);
+
+    std::printf("[async] %d devices, %d cycle%s, %d shards...\n",
+                cfg.devices, cfg.cycles, cfg.cycles == 1 ? "" : "s",
+                shards_async);
+    const ModeResult async_r =
+        runMode(cfg, shards_async, /*overlap=*/true, circuits, verify);
+
+    const bool results_match =
+        recalibReportsBitIdentical(sync.post, async_r.post);
+    const double speedup =
+        async_r.wall_ms > 0.0 ? sync.wall_ms / async_r.wall_ms : 0.0;
+
+    int edges_per_device = 0;
+    {
+        // 2x2 grid edge count, for the report.
+        const GridDevice probe(benchFleet(1)[0].grid);
+        edges_per_device =
+            static_cast<int>(probe.coupling().edges().size());
+    }
+
+    std::printf("\n%-22s %12s %12s\n", "", "sync", "async");
+    std::printf("%-22s %12.1f %12.1f\n", "cycle wall (ms)",
+                sync.wall_ms, async_r.wall_ms);
+    std::printf("%-22s %12.1f %12.1f\n", "compile (ms)",
+                sync.compile_ms, async_r.compile_ms);
+    std::printf("%-22s %12.1f %12.3f\n", "compile stall (ms)",
+                sync.compile_stall_ms, async_r.compile_stall_ms);
+    std::printf("%-22s %12s %12.2f\n", "overlap ratio", "-",
+                async_r.overlap_ratio);
+    std::printf("speedup (sync/async wall): %.2fx\n", speedup);
+    std::printf("recalibrated edges: %d; presynth owned/ready/"
+                "pending: %llu/%llu/%llu\n",
+                async_r.recalibrated_edges,
+                static_cast<unsigned long long>(
+                    async_r.sched.presynth_owned),
+                static_cast<unsigned long long>(
+                    async_r.sched.presynth_ready),
+                static_cast<unsigned long long>(
+                    async_r.sched.presynth_pending));
+    std::printf("determinism (sync@1 vs async@%d shards): %s\n",
+                shards_async,
+                results_match ? "bit-identical" : "MISMATCH");
+
+    writeJson("BENCH_recalib.json", quick, smoke, cfg,
+              edges_per_device, sync, async_r, shards_async,
+              results_match, async_r.engine.restarts_pruned);
+
+    bool ok = results_match;
+    if (async_r.compile_stall_ms > kStallSanityCeilingMs) {
+        std::printf("FAIL: async compile path stalled %.3f ms\n",
+                    async_r.compile_stall_ms);
+        ok = false;
+    }
+    if (async_r.recalibrated_edges == 0) {
+        std::printf("FAIL: no edge recalibrated\n");
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -41,6 +41,7 @@
 
 #include "apps/qft.hpp"
 #include "circuit/coupling.hpp"
+#include "synth/depth_cache.hpp"
 #include "synth/engine.hpp"
 #include "transpile/basis_translate.hpp"
 #include "transpile/layout.hpp"
@@ -121,11 +122,15 @@ runWorkload(const std::string &name,
     r.name = name;
     r.requests = requests.size();
 
+    // Each timed path starts with a cold process-wide depth-oracle
+    // cache so neither side's verdicts subsidize the other.
+    DepthOracleCache::shared().clear();
     const double t0 = nowMs();
     const std::vector<TwoQubitDecomposition> base =
         serialSeedPath(requests, opts);
     const double t1 = nowMs();
 
+    DepthOracleCache::shared().clear();
     DecompositionCache cache;
     const std::vector<TwoQubitDecomposition> fast =
         engine.synthesizeBatch(requests, cache, opts);

@@ -1,19 +1,22 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Reads BENCH_synth.json and BENCH_fleet.json (produced by
-`bench_synth --quick` and `bench_fleet --quick`) and gates on the
-floors committed in bench/baselines.json:
+Reads BENCH_synth.json, BENCH_fleet.json, and BENCH_recalib.json
+(produced by `bench_synth --quick`, `bench_fleet --quick`, and
+`bench_recalib --quick`) and gates on the floors committed in
+bench/baselines.json:
 
   * every workload's engine/serial agreement (results_match),
   * fleet bit-determinism at 1 vs N shards,
   * cache speedup and hit-rate floors,
-  * cross-device sharing floors for multi-device fleets.
+  * cross-device sharing floors for multi-device fleets,
+  * recalibration: sync-vs-overlapped bit-determinism, end-to-end
+    speedup, overlap ratio, and a zero-compile-path-stall ceiling.
 
 Exits nonzero with one line per violated floor. Pure stdlib.
 
 Usage: scripts/check_bench.py [--synth PATH] [--fleet PATH]
-                              [--baselines PATH]
+                              [--recalib PATH] [--baselines PATH]
 """
 
 import argparse
@@ -109,10 +112,61 @@ def check_fleet(bench, base, failures):
             )
 
 
+def check_recalib(bench, base, failures):
+    floors = base.get("recalib", {})
+    det = bench.get("determinism", {})
+    if floors.get("require_determinism") and not det.get(
+        "results_match"
+    ):
+        failures.append(
+            "recalib: post-cycle reports of the synchronous and "
+            "overlapped runs are not bit-identical"
+        )
+    async_side = bench.get("async", {})
+    floor = floors.get("min_speedup")
+    if floor is not None and bench.get("speedup", 0.0) < floor:
+        failures.append(
+            f"recalib: end-to-end speedup {bench.get('speedup')}x "
+            f"below floor {floor}x"
+        )
+    ceiling = floors.get("max_compile_stall_ms")
+    if (
+        ceiling is not None
+        and async_side.get("compile_stall_ms", 0.0) > ceiling
+    ):
+        failures.append(
+            "recalib: overlapped compile path stalled "
+            f"{async_side.get('compile_stall_ms')} ms "
+            f"(ceiling {ceiling} ms)"
+        )
+    floor = floors.get("min_overlap_ratio")
+    if (
+        floor is not None
+        and async_side.get("overlap_ratio", 0.0) < floor
+    ):
+        failures.append(
+            f"recalib: overlap ratio {async_side.get('overlap_ratio')}"
+            f" below floor {floor}"
+        )
+    floor = floors.get("min_recalibrated_edges")
+    if (
+        floor is not None
+        and bench.get("fleet", {}).get("recalibrated_edges", 0) < floor
+    ):
+        failures.append(
+            "recalib: only "
+            f"{bench.get('fleet', {}).get('recalibrated_edges')} "
+            f"edges recalibrated (floor {floor})"
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--synth", default=REPO / "BENCH_synth.json")
     parser.add_argument("--fleet", default=REPO / "BENCH_fleet.json")
+    parser.add_argument(
+        "--recalib", default=REPO / "BENCH_recalib.json"
+    )
     parser.add_argument(
         "--baselines", default=REPO / "bench" / "baselines.json"
     )
@@ -122,6 +176,7 @@ def main():
     failures = []
     check_synth(load(args.synth), base, failures)
     check_fleet(load(args.fleet), base, failures)
+    check_recalib(load(args.recalib), base, failures)
 
     if failures:
         print("bench gate: FAIL")

@@ -5,8 +5,9 @@
 #   scripts/verify.sh [--quick] [build-dir]
 #
 #   --quick    skip the bench pass (bench_synth + bench_fleet +
-#              scripts/check_bench.py); the fleet smoke still runs so
-#              every matrix job exercises the sharded driver.
+#              bench_recalib + scripts/check_bench.py); the fleet and
+#              recalib smokes still run so every matrix job exercises
+#              the sharded driver and the async retune pipeline.
 #
 # Environment:
 #   CMAKE_BUILD_TYPE   build configuration (default Release)
@@ -41,9 +42,14 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 # bit-determinism asserts baked into the binary's exit code.
 "$BUILD_DIR/bench_fleet" --smoke
 
+# Recalib smoke: one overlapped drift cycle; sync-vs-async
+# bit-determinism and the zero-stall assert are the exit code.
+"$BUILD_DIR/bench_recalib" --smoke
+
 if [ "$QUICK" = 0 ]; then
   "$BUILD_DIR/bench_synth" --quick
   "$BUILD_DIR/bench_fleet" --quick
+  "$BUILD_DIR/bench_recalib" --quick
   python3 scripts/check_bench.py
 fi
 echo "verify: OK"

@@ -1,6 +1,17 @@
 #include "calib/drift.hpp"
 
+#include "util/logging.hpp"
+
 namespace qbasis {
+
+namespace {
+
+/** Distinct stream tags so the "how it drifts" draws and the "does
+ *  it retune" draws of one (seed, edge, cycle) never collide. */
+constexpr uint64_t kParamStreamTag = 0x00d21f7ull;
+constexpr uint64_t kRetuneStreamTag = 0x0027e7e1ull;
+
+} // namespace
 
 PairDeviceParams
 driftParams(const PairDeviceParams &params, const DriftModel &model,
@@ -13,6 +24,61 @@ driftParams(const PairDeviceParams &params, const DriftModel &model,
     d.g_bc *= 1.0 + rng.normal(0.0, model.coupling_rel);
     d.g_ab *= 1.0 + rng.normal(0.0, model.coupling_rel);
     return d;
+}
+
+PairDeviceParams
+driftParamsAt(const PairDeviceParams &base, const DriftModel &model,
+              uint64_t seed, int edge, uint64_t cycles)
+{
+    // Fold one independent draw per cycle. Each cycle's draw comes
+    // from its own derived stream (not a shared walking Rng), so
+    // paramsAt(c) can be recomputed from scratch by any thread and
+    // always lands on the same bytes.
+    const uint64_t edge_seed = Rng::deriveSeed(
+        Rng::deriveSeed(seed, kParamStreamTag),
+        static_cast<uint64_t>(edge));
+    PairDeviceParams p = base;
+    for (uint64_t c = 1; c <= cycles; ++c) {
+        Rng rng(Rng::deriveSeed(edge_seed, c));
+        p = driftParams(p, model, rng);
+    }
+    return p;
+}
+
+DriftCycle::DriftCycle(int n_edges, DriftCycleOptions opts)
+    : n_edges_(n_edges), opts_(opts)
+{
+    if (n_edges < 0)
+        fatal("DriftCycle: negative edge count %d", n_edges);
+}
+
+DriftCycle::Step
+DriftCycle::advance()
+{
+    ++cycle_;
+    Step step;
+    step.cycle = cycle_;
+    step.drifted_edges.reserve(static_cast<size_t>(n_edges_));
+    const uint64_t retune_seed =
+        Rng::deriveSeed(opts_.seed, kRetuneStreamTag);
+    for (int e = 0; e < n_edges_; ++e) {
+        // Independent per-(edge, cycle) draw: the retune set of one
+        // cycle is the same no matter how many devices share the
+        // driver pattern or how work was sharded.
+        Rng rng(Rng::deriveSeed(
+            Rng::deriveSeed(retune_seed, static_cast<uint64_t>(e)),
+            cycle_));
+        if (rng.uniform() < opts_.recalibrate_fraction)
+            step.drifted_edges.push_back(e);
+    }
+    return step;
+}
+
+PairDeviceParams
+DriftCycle::paramsAt(const PairDeviceParams &base, int edge,
+                     uint64_t cycle) const
+{
+    return driftParamsAt(base, opts_.model, opts_.seed, edge, cycle);
 }
 
 } // namespace qbasis

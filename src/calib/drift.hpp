@@ -6,7 +6,20 @@
  * Slow device-parameter drift between calibration cycles: qubit
  * frequencies and couplings wander by a small relative amount,
  * motivating the daily "retuning" stage of the paper's protocol.
+ *
+ * Cycle-resolved drift is organized as *per-edge streams*: the
+ * parameters of edge e at cycle c are a pure function of
+ * (base parameters, drift model, base seed, e, c), obtained by
+ * folding one splitmix-derived draw per cycle. Streams of different
+ * edges are statistically independent and -- crucially for the async
+ * recalibration subsystem -- independent of shard layout, task
+ * scheduling, and of which other edges drift in a given cycle, so a
+ * fixed-seed drift cycle reproduces bit-identically whether it is
+ * replayed serially or fully overlapped with compilation.
  */
+
+#include <cstdint>
+#include <vector>
 
 #include "sim/hamiltonian.hpp"
 #include "util/rng.hpp"
@@ -23,6 +36,72 @@ struct DriftModel
 /** Sample a drifted copy of the unit-cell parameters. */
 PairDeviceParams driftParams(const PairDeviceParams &params,
                              const DriftModel &model, Rng &rng);
+
+/**
+ * Per-edge drift stream: parameters of edge `edge` after `cycles`
+ * drift cycles from `base` (cycles = 0 returns `base` unchanged).
+ * Each cycle folds one deterministic draw from a per-(edge, cycle)
+ * derived stream (a fixed stream tag is mixed in first so these
+ * draws can never collide with DriftCycle's retune-decision draws),
+ * so the result depends only on (base, model, seed, edge, cycles).
+ */
+PairDeviceParams driftParamsAt(const PairDeviceParams &base,
+                               const DriftModel &model, uint64_t seed,
+                               int edge, uint64_t cycles);
+
+/** Options of the cycle driver. */
+struct DriftCycleOptions
+{
+    DriftModel model;
+    /**
+     * Fraction of edges whose drift crosses the retune threshold in
+     * any one cycle. Whether edge e retunes in cycle c is an
+     * independent deterministic draw (its *parameter* stream advances
+     * every cycle regardless, so the retune decision never perturbs
+     * the drift trajectory).
+     */
+    double recalibrate_fraction = 1.0;
+    uint64_t seed = 2022; ///< Base seed of every per-edge stream.
+};
+
+/**
+ * Deterministic drift-cycle driver for one device: advances all
+ * per-edge drift streams in lockstep and reports which edges drifted
+ * past the retune threshold each cycle.
+ */
+class DriftCycle
+{
+  public:
+    DriftCycle(int n_edges, DriftCycleOptions opts = {});
+
+    /** One advance() outcome. */
+    struct Step
+    {
+        uint64_t cycle = 0; ///< 1-based cycle index.
+        std::vector<int> drifted_edges; ///< Edges to recalibrate.
+    };
+
+    /** Advance one cycle; returns the edges that need retuning. */
+    Step advance();
+
+    /** Cycles advanced so far. */
+    uint64_t cycle() const { return cycle_; }
+
+    /**
+     * Parameters of `edge` at cycle `cycle` given its base (cycle-0)
+     * parameters. Pure function of the constructor seed -- callable
+     * from any thread, in any order.
+     */
+    PairDeviceParams paramsAt(const PairDeviceParams &base, int edge,
+                              uint64_t cycle) const;
+
+    const DriftCycleOptions &options() const { return opts_; }
+
+  private:
+    int n_edges_;
+    DriftCycleOptions opts_;
+    uint64_t cycle_ = 0;
+};
 
 } // namespace qbasis
 

@@ -32,6 +32,9 @@ struct EdgeCalibration
     double omega_d = 0.0;
     double omega_c0 = 0.0;
     double zz_residual = 0.0;
+    /** Drift cycle this edge was last retuned in (0 = initial
+     *  tuneup; maintained by the async recalibration scheduler). */
+    uint64_t calibrated_cycle = 0;
     SelectedBasisGate gate;
 };
 

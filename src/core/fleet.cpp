@@ -51,7 +51,56 @@ circuitResultsBitIdentical(const CompiledCircuitResult &a,
            && a.depth == b.depth;
 }
 
+bool
+edgeCalibrationsBitIdentical(const EdgeCalibration &a,
+                             const EdgeCalibration &b)
+{
+    return a.edge_id == b.edge_id && a.xi == b.xi
+           && a.omega_d == b.omega_d && a.omega_c0 == b.omega_c0
+           && a.zz_residual == b.zz_residual
+           && a.calibrated_cycle == b.calibrated_cycle
+           && a.gate.duration_ns == b.gate.duration_ns
+           && mat4BitIdentical(a.gate.gate, b.gate.gate);
+}
+
 } // namespace
+
+bool
+recalibReportsBitIdentical(const RecalibCycleReport &a,
+                           const RecalibCycleReport &b)
+{
+    if (a.cycle != b.cycle || a.devices.size() != b.devices.size())
+        return false;
+    for (size_t d = 0; d < a.devices.size(); ++d) {
+        const RecalibDeviceCycle &da = a.devices[d];
+        const RecalibDeviceCycle &db = b.devices[d];
+        if (da.device_id != db.device_id
+            || da.calibration_version != db.calibration_version
+            || da.edges.size() != db.edges.size()
+            || da.bases.size() != db.bases.size()
+            || da.verify.size() != db.verify.size())
+            return false;
+        for (size_t e = 0; e < da.edges.size(); ++e) {
+            if (!edgeCalibrationsBitIdentical(da.edges[e],
+                                              db.edges[e]))
+                return false;
+        }
+        for (size_t e = 0; e < da.bases.size(); ++e) {
+            if (da.bases[e].duration_ns != db.bases[e].duration_ns
+                || da.bases[e].label != db.bases[e].label
+                || !mat4BitIdentical(da.bases[e].gate,
+                                     db.bases[e].gate))
+                return false;
+        }
+        for (size_t c = 0; c < da.verify.size(); ++c) {
+            if (da.verify[c].name != db.verify[c].name
+                || !circuitResultsBitIdentical(da.verify[c].result,
+                                               db.verify[c].result))
+                return false;
+        }
+    }
+    return true;
+}
 
 bool
 fleetReportsBitIdentical(const FleetReport &a, const FleetReport &b)
@@ -100,6 +149,23 @@ FleetDriver::FleetDriver(FleetOptions opts)
 {
 }
 
+CalibratedBasisSet
+FleetDriver::calibrateSpec(int device_id, const FleetDeviceSpec &spec,
+                           const GridDevice &device,
+                           const std::string &label) const
+{
+    DeviceCalibrationOptions calib = opts_.calib;
+    if (spec.apply_drift) {
+        calib.apply_drift = true;
+        calib.drift = spec.drift;
+        calib.drift_seed = Rng::deriveSeed(opts_.seed,
+                                           static_cast<uint64_t>(
+                                               device_id));
+    }
+    return calibrateDevice(device, spec.xi, spec.criterion, label,
+                           calib);
+}
+
 FleetDeviceReport
 FleetDriver::runDevice(int device_id, const FleetDeviceSpec &spec,
                        const std::vector<FleetCircuit> &circuits,
@@ -112,17 +178,7 @@ FleetDriver::runDevice(int device_id, const FleetDeviceSpec &spec,
                        : spec.label;
 
     const GridDevice device(spec.grid);
-
-    DeviceCalibrationOptions calib = opts_.calib;
-    if (spec.apply_drift) {
-        calib.apply_drift = true;
-        calib.drift = spec.drift;
-        calib.drift_seed = Rng::deriveSeed(opts_.seed,
-                                           static_cast<uint64_t>(
-                                               device_id));
-    }
-    report.set = calibrateDevice(device, spec.xi, spec.criterion,
-                                 report.label, calib);
+    report.set = calibrateSpec(device_id, spec, device, report.label);
 
     const SynthClient client{engine, cache_, device_id};
     report.summary = summarizeGateSet(device, report.set, client,
@@ -156,29 +212,54 @@ FleetDriver::run(const std::vector<FleetDeviceSpec> &specs,
         report.cache = cache_.stats();
         return report;
     }
+    report.shards = shardCount(n_devices);
 
-    const int shards =
-        opts_.shards <= 0 ? n_devices
-                          : std::min(opts_.shards, n_devices);
-    report.shards = shards;
+    // Engines borrow the shared pool and carry no synthesis state
+    // of their own, so each device gets a fresh one; shard threads
+    // block in shared-cache waits and batch joins, which is why
+    // they are std::threads rather than pool workers.
+    forEachDeviceSharded(specs.size(), [&, this](int d) {
+        SynthEngine engine(pool_);
+        report.devices[static_cast<size_t>(d)] = runDevice(
+            d, specs[static_cast<size_t>(d)], circuits, engine);
+        absorbEngineStats(engine);
+    });
 
-    // One engine per shard, all borrowing the shared pool; one
-    // std::thread per shard (shard threads block in shared-cache
-    // waits and batch joins, so they must not be pool workers).
+    report.cache = cache_.stats();
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return report;
+}
+
+// ---------------------------------------------------------------------------
+// Cycle serving
+// ---------------------------------------------------------------------------
+
+int
+FleetDriver::shardCount(int n_devices) const
+{
+    return opts_.shards <= 0 ? n_devices
+                             : std::min(opts_.shards, n_devices);
+}
+
+void
+FleetDriver::forEachDeviceSharded(
+    size_t n, const std::function<void(int)> &fn) const
+{
+    const int n_devices = static_cast<int>(n);
+    if (n_devices == 0)
+        return;
+    const int shards = shardCount(n_devices);
     std::vector<std::exception_ptr> errors(
         static_cast<size_t>(shards));
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(shards));
     for (int s = 0; s < shards; ++s) {
-        threads.emplace_back([this, s, shards, n_devices, &specs,
-                              &circuits, &report, &errors] {
-            SynthEngine engine(pool_);
+        threads.emplace_back([s, shards, n_devices, &fn, &errors] {
             try {
-                for (int d = s; d < n_devices; d += shards) {
-                    report.devices[static_cast<size_t>(d)] =
-                        runDevice(d, specs[static_cast<size_t>(d)],
-                                  circuits, engine);
-                }
+                for (int d = s; d < n_devices; d += shards)
+                    fn(d);
             } catch (...) {
                 errors[static_cast<size_t>(s)] =
                     std::current_exception();
@@ -187,16 +268,195 @@ FleetDriver::run(const std::vector<FleetDeviceSpec> &specs,
     }
     for (auto &t : threads)
         t.join();
-    // Rethrow in shard order ~ first failing device order.
     for (const auto &err : errors) {
         if (err)
             std::rethrow_exception(err);
     }
+}
 
-    report.cache = cache_.stats();
-    report.wall_ms = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+void
+FleetDriver::initDevices(const std::vector<FleetDeviceSpec> &specs)
+{
+    // In-flight pipelines hold pointers into the device states being
+    // replaced; settle them before tearing anything down.
+    drainRecalibration();
+    devices_.clear();
+    devices_.reserve(specs.size());
+    for (size_t d = 0; d < specs.size(); ++d) {
+        devices_.push_back(std::make_unique<FleetDeviceState>(
+            static_cast<int>(d), specs[d]));
+    }
+    forEachDeviceSharded(devices_.size(), [this](int d) {
+        FleetDeviceState &state = *devices_[static_cast<size_t>(d)];
+        state.calibration.publish(calibrateSpec(
+            d, state.spec, state.device, state.label));
+    });
+}
+
+const FleetDeviceState &
+FleetDriver::device(int device_id) const
+{
+    if (device_id < 0
+        || static_cast<size_t>(device_id) >= devices_.size())
+        panic("FleetDriver: unknown device %d", device_id);
+    return *devices_[static_cast<size_t>(device_id)];
+}
+
+CalibrationSnapshot
+FleetDriver::calibrationSnapshot(int device_id) const
+{
+    return device(device_id).calibration.snapshot();
+}
+
+RecalibScheduler &
+FleetDriver::scheduler()
+{
+    if (!recalib_) {
+        RecalibSchedulerOptions opts;
+        opts.calib = opts_.calib;
+        opts.synth = opts_.synth; // shared cache lines with compile
+        recalib_ = std::make_unique<RecalibScheduler>(pool_, cache_,
+                                                      opts);
+    }
+    return *recalib_;
+}
+
+void
+FleetDriver::recalibrate(const std::vector<RecalibEdgeRequest> &edges)
+{
+    RecalibScheduler &sched = scheduler();
+    for (const RecalibEdgeRequest &req : edges) {
+        FleetDeviceState &state =
+            *devices_.at(static_cast<size_t>(req.device_id));
+        RecalibJob job;
+        job.device = &state.device;
+        job.target = &state.calibration;
+        job.device_id = req.device_id;
+        job.edge_id = req.edge_id;
+        job.cycle = req.cycle;
+        job.params = req.params;
+        job.xi = state.spec.xi;
+        job.criterion = state.spec.criterion;
+        job.label = state.label;
+        sched.schedule(std::move(job));
+    }
+}
+
+void
+FleetDriver::drainRecalibration()
+{
+    if (recalib_)
+        recalib_->drain();
+}
+
+RecalibScheduler::Stats
+FleetDriver::recalibStats() const
+{
+    return recalib_ ? recalib_->stats() : RecalibScheduler::Stats{};
+}
+
+double
+FleetDriver::recalibNowMs()
+{
+    return scheduler().nowMs();
+}
+
+void
+FleetDriver::resetRecalibWindow()
+{
+    if (recalib_)
+        recalib_->resetWindow();
+}
+
+void
+FleetDriver::absorbEngineStats(const SynthEngine &engine)
+{
+    const SynthEngine::Stats s = engine.stats();
+    restarts_run_.fetch_add(s.restarts_run);
+    restarts_pruned_.fetch_add(s.restarts_pruned);
+}
+
+SynthEngine::Stats
+FleetDriver::engineStats() const
+{
+    SynthEngine::Stats s;
+    s.restarts_run = restarts_run_.load();
+    s.restarts_pruned = restarts_pruned_.load();
+    return s;
+}
+
+FleetCompilePass
+FleetDriver::compileCircuits(const std::vector<FleetCircuit> &circuits)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    FleetCompilePass pass;
+    pass.results.resize(devices_.size());
+
+    std::mutex wait_mutex;
+    double snapshot_wait_ms = 0.0;
+    forEachDeviceSharded(devices_.size(), [&, this](int d) {
+        FleetDeviceState &state = *devices_[static_cast<size_t>(d)];
+        SynthEngine engine(pool_);
+        const SynthClient client{engine, cache_, d,
+                                 TaskPriority::Normal};
+        std::vector<VersionedCompileResult> &out =
+            pass.results[static_cast<size_t>(d)];
+        out.reserve(circuits.size());
+        double waited = 0.0;
+        for (const FleetCircuit &fc : circuits) {
+            TranspileOptions topts = opts_.transpile;
+            topts.synth = opts_.synth;
+            VersionedCompileResult r = compileAndScore(
+                state.device, state.calibration, client, fc.circuit,
+                topts, opts_.t_1q_ns, opts_.t_coherence_ns);
+            waited += r.snapshot_wait_ms;
+            out.push_back(std::move(r));
+        }
+        absorbEngineStats(engine);
+        std::lock_guard<std::mutex> lock(wait_mutex);
+        snapshot_wait_ms += waited;
+    });
+
+    pass.snapshot_wait_ms = snapshot_wait_ms;
+    pass.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    return pass;
+}
+
+RecalibCycleReport
+FleetDriver::cycleReport(uint64_t cycle,
+                         const std::vector<FleetCircuit> &verify)
+{
+    RecalibCycleReport report;
+    report.cycle = cycle;
+    report.devices.resize(devices_.size());
+    forEachDeviceSharded(devices_.size(), [&, this](int d) {
+        FleetDeviceState &state = *devices_[static_cast<size_t>(d)];
+        RecalibDeviceCycle &out =
+            report.devices[static_cast<size_t>(d)];
+        out.device_id = d;
+        const CalibrationSnapshot snap = state.calibration.snapshot();
+        out.calibration_version = snap.version;
+        out.edges = snap.set->edges;
+        out.bases = snap.set->bases;
+        SynthEngine engine(pool_);
+        const SynthClient client{engine, cache_, d,
+                                 TaskPriority::Normal};
+        out.verify.reserve(verify.size());
+        for (const FleetCircuit &fc : verify) {
+            TranspileOptions topts = opts_.transpile;
+            topts.synth = opts_.synth;
+            FleetCircuitResult cr;
+            cr.name = fc.name;
+            cr.result = compileAndScore(state.device, *snap.set,
+                                        client, fc.circuit, topts,
+                                        opts_.t_1q_ns,
+                                        opts_.t_coherence_ns);
+            out.verify.push_back(std::move(cr));
+        }
+        absorbEngineStats(engine);
+    });
     return report;
 }
 

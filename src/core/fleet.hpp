@@ -25,10 +25,14 @@
  * Rng::deriveSeed(seed, device_id), independent of shard layout.
  */
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "calib/async/recalib_scheduler.hpp"
 #include "core/experiment.hpp"
+#include "core/recalib.hpp"
 #include "synth/shared_cache.hpp"
 
 namespace qbasis {
@@ -116,6 +120,79 @@ struct FleetReport
 bool fleetReportsBitIdentical(const FleetReport &a,
                               const FleetReport &b);
 
+// ---------------------------------------------------------------------------
+// Cycle serving: live devices with versioned calibrations, async
+// per-edge recalibration overlapped with circuit compilation.
+// ---------------------------------------------------------------------------
+
+/** One live device of a serving fleet (see initDevices()). */
+struct FleetDeviceState
+{
+    int device_id = -1;
+    std::string label;
+    FleetDeviceSpec spec;
+    GridDevice device;
+    VersionedBasisSet calibration;
+
+    FleetDeviceState(int id, FleetDeviceSpec s)
+        : device_id(id),
+          label(s.label.empty() ? "dev" + std::to_string(id)
+                                : s.label),
+          spec(std::move(s)), device(spec.grid)
+    {
+    }
+};
+
+/** One drifted edge to retune asynchronously. */
+struct RecalibEdgeRequest
+{
+    int device_id = 0;
+    int edge_id = 0;
+    uint64_t cycle = 0;
+    PairDeviceParams params; ///< Drifted unit cell (e.g. from
+                             ///< DriftCycle::paramsAt()).
+};
+
+/** One compile pass over the whole fleet (compileCircuits()). */
+struct FleetCompilePass
+{
+    /** results[device][circuit], annotated with the calibration
+     *  version each compile was served from. */
+    std::vector<std::vector<VersionedCompileResult>> results;
+    double wall_ms = 0.0;
+    /** Total time compile threads spent acquiring calibration
+     *  snapshots -- the only place the compile path could ever wait
+     *  on recalibration state. Stays at microseconds by design. */
+    double snapshot_wait_ms = 0.0;
+};
+
+/** Post-drain state of one device after a drift cycle. */
+struct RecalibDeviceCycle
+{
+    int device_id = -1;
+    uint64_t calibration_version = 0;
+    std::vector<EdgeCalibration> edges;
+    std::vector<EdgeBasis> bases;
+    std::vector<FleetCircuitResult> verify; ///< Compiled post-drain.
+};
+
+/**
+ * Post-cycle report: the settled calibration state plus verification
+ * compiles against the final published sets. This is the object the
+ * determinism contract quantifies over -- for a fixed seed it is
+ * bit-identical whether the cycle's recalibration ran synchronously
+ * or fully overlapped with serving, at 1 or N shards.
+ */
+struct RecalibCycleReport
+{
+    uint64_t cycle = 0;
+    std::vector<RecalibDeviceCycle> devices;
+};
+
+/** Bitwise equality of two post-cycle reports. */
+bool recalibReportsBitIdentical(const RecalibCycleReport &a,
+                                const RecalibCycleReport &b);
+
 /** Shard-parallel fleet driver. */
 class FleetDriver
 {
@@ -132,6 +209,66 @@ class FleetDriver
     FleetReport run(const std::vector<FleetDeviceSpec> &specs,
                     const std::vector<FleetCircuit> &circuits = {});
 
+    // -- Cycle serving (async recalibration subsystem) --------------
+
+    /**
+     * Build persistent device state: sample every device, calibrate
+     * it (sharded, like run()), and install the result behind a
+     * VersionedBasisSet. Drains any in-flight recalibration first
+     * (pipelines hold pointers into the states being replaced),
+     * then replaces any previous device state.
+     */
+    void initDevices(const std::vector<FleetDeviceSpec> &specs);
+
+    size_t deviceCount() const { return devices_.size(); }
+    const FleetDeviceState &device(int device_id) const;
+
+    /** Snapshot a device's current calibration (never blocks). */
+    CalibrationSnapshot calibrationSnapshot(int device_id) const;
+
+    /**
+     * Schedule per-edge recalibration pipelines on the shared pool
+     * (Background lane) and return immediately. Compilation keeps
+     * serving the last published basis of every edge; each pipeline
+     * atomically swaps its edge when done.
+     */
+    void recalibrate(const std::vector<RecalibEdgeRequest> &edges);
+
+    /** Join every in-flight recalibration (rethrows task errors). */
+    void drainRecalibration();
+
+    /** Scheduler counters (zeroed when no recalibrate() ran yet). */
+    RecalibScheduler::Stats recalibStats() const;
+
+    /** Scheduler clock for overlap measurements (ms since the
+     *  scheduler epoch); creates the scheduler on first use. */
+    double recalibNowMs();
+
+    /** Reset the scheduler's stats window (per-cycle overlap). */
+    void resetRecalibWindow();
+
+    /** Restart accounting summed over every engine the driver ran
+     *  (run(), compileCircuits(), cycleReport()). */
+    SynthEngine::Stats engineStats() const;
+
+    /**
+     * Compile every circuit on every initDevices() device against
+     * its current calibration snapshot, sharded across threads. The
+     * compile path never blocks on recalibration: an edge
+     * mid-recalibration serves its last published basis.
+     */
+    FleetCompilePass
+    compileCircuits(const std::vector<FleetCircuit> &circuits);
+
+    /**
+     * Post-drain cycle report: final published calibrations plus
+     * verification compiles of `verify` against them. Call after
+     * drainRecalibration().
+     */
+    RecalibCycleReport
+    cycleReport(uint64_t cycle,
+                const std::vector<FleetCircuit> &verify = {});
+
     SharedDecompositionCache &cache() { return cache_; }
     ThreadPool &pool() { return pool_; }
     const FleetOptions &options() const { return opts_; }
@@ -142,9 +279,32 @@ class FleetDriver
               const std::vector<FleetCircuit> &circuits,
               SynthEngine &engine);
 
+    CalibratedBasisSet calibrateSpec(int device_id,
+                                     const FleetDeviceSpec &spec,
+                                     const GridDevice &device,
+                                     const std::string &label) const;
+
+    RecalibScheduler &scheduler();
+
+    /** Run fn(device_id) for device ids [0, n), dealt round-robin
+     *  onto opts_.shards shard threads; collects per-shard errors
+     *  and rethrows the first in shard order (~ first failing
+     *  device order). */
+    void forEachDeviceSharded(
+        size_t n, const std::function<void(int)> &fn) const;
+
+    void absorbEngineStats(const SynthEngine &engine);
+
+    /** Shard threads used for `n` devices (opts_.shards clamped). */
+    int shardCount(int n_devices) const;
+
     FleetOptions opts_;
     ThreadPool pool_;
     SharedDecompositionCache cache_;
+    std::vector<std::unique_ptr<FleetDeviceState>> devices_;
+    std::unique_ptr<RecalibScheduler> recalib_;
+    std::atomic<uint64_t> restarts_run_{0};
+    std::atomic<uint64_t> restarts_pruned_{0};
 };
 
 } // namespace qbasis

@@ -1,0 +1,128 @@
+#include "synth/depth_cache.hpp"
+
+#include <cstring>
+
+#include "monodromy/depth.hpp"
+#include "synth/cache.hpp"
+#include "util/rng.hpp"
+#include "weyl/invariants.hpp"
+
+namespace qbasis {
+
+namespace {
+
+int64_t
+doubleBits(double v)
+{
+    int64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double width");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Hash of everything but the target class that sways a verdict. */
+uint64_t
+contextHash(const Mat4 &basis, int max_layers,
+            const OracleOptions &opts)
+{
+    uint64_t h = DecompositionCache::hashGate(basis);
+    h = Rng::deriveSeed(h, static_cast<uint64_t>(max_layers));
+    h = Rng::deriveSeed(h, static_cast<uint64_t>(opts.restarts));
+    h = Rng::deriveSeed(h, static_cast<uint64_t>(opts.nm_iters));
+    h = Rng::deriveSeed(
+        h, static_cast<uint64_t>(doubleBits(opts.residual_tol)));
+    return Rng::deriveSeed(h, opts.seed);
+}
+
+} // namespace
+
+int
+DepthOracleCache::predict(const Mat4 &target, const Mat4 &basis,
+                          int max_layers, const OracleOptions &opts)
+{
+    const CartanCoords tc = cartanCoords(target);
+    const Key key{contextHash(basis, max_layers, opts),
+                  doubleBits(tc.tx), doubleBits(tc.ty),
+                  doubleBits(tc.tz)};
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            auto [it, inserted] = entries_.try_emplace(key);
+            if (inserted) {
+                ++misses_;
+                break; // this thread owns the verdict computation
+            }
+            if (it->second.ready) {
+                ++hits_;
+                return it->second.depth;
+            }
+            // Another thread is computing the same verdict; wait for
+            // publish (or for an abandoned claim to vanish).
+            cv_.wait(lock);
+        }
+    }
+
+    int depth = 0;
+    try {
+        depth = predictDepth(target, basis, max_layers, opts);
+    } catch (...) {
+        // Release the claim so a waiter can take over.
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.erase(key);
+        cv_.notify_all();
+        throw;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = entries_[key];
+    entry.depth = depth;
+    entry.ready = true;
+    cv_.notify_all();
+    return depth;
+}
+
+uint64_t
+DepthOracleCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+DepthOracleCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t
+DepthOracleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        if (entry.ready)
+            ++n;
+    }
+    return n;
+}
+
+void
+DepthOracleCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+DepthOracleCache &
+DepthOracleCache::shared()
+{
+    static DepthOracleCache cache;
+    return cache;
+}
+
+} // namespace qbasis

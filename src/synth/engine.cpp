@@ -9,6 +9,7 @@
 #include <set>
 
 #include "monodromy/depth.hpp"
+#include "synth/depth_cache.hpp"
 #include "util/logging.hpp"
 
 namespace qbasis {
@@ -53,11 +54,18 @@ struct BatchState
 {
     ThreadPool &pool;
     const SynthOptions &opts;
+    TaskPriority priority;
+    std::atomic<uint64_t> &restarts_run;
+    std::atomic<uint64_t> &restarts_pruned;
     size_t jobs_remaining = 0; ///< Guarded by `mutex`.
     std::mutex mutex;
     std::condition_variable done_cv;
 
-    BatchState(ThreadPool &p, const SynthOptions &o) : pool(p), opts(o)
+    BatchState(ThreadPool &p, const SynthOptions &o, TaskPriority pr,
+               std::atomic<uint64_t> &run,
+               std::atomic<uint64_t> &pruned)
+        : pool(p), opts(o), priority(pr), restarts_run(run),
+          restarts_pruned(pruned)
     {
     }
 
@@ -97,7 +105,8 @@ BatchState::launchWave(ClassJob &job)
     int submitted = 0;
     try {
         for (int r = 0; r < restarts; ++r) {
-            pool.submit([this, &job, r] { runRestart(job, r); });
+            pool.submit([this, &job, r] { runRestart(job, r); },
+                        priority);
             ++submitted;
         }
     } catch (...) {
@@ -120,6 +129,20 @@ BatchState::runRestart(ClassJob &job, int restart)
             return job.min_success.load(std::memory_order_relaxed)
                    < restart;
         };
+        // Submission-time pruning: a queued restart whose wave was
+        // already won by a smaller index never starts. This cannot
+        // change the winner -- the winner is the smallest successful
+        // index, pruning only fires for strictly larger indices, and
+        // pruned slots are marked aborted exactly as a cooperative
+        // cancellation would have -- so results stay bit-identical.
+        if (should_stop()) {
+            job.slots[static_cast<size_t>(restart)].aborted = true;
+            restarts_pruned.fetch_add(1, std::memory_order_relaxed);
+            if (job.remaining.fetch_sub(1) == 1)
+                reduceWave(job);
+            return;
+        }
+        restarts_run.fetch_add(1, std::memory_order_relaxed);
         SynthRestartResult res = synthesizeRestart(
             job.class_gate, job.layers,
             synthRestartSeed(opts.seed, job.layers.size(), restart),
@@ -210,8 +233,12 @@ BatchState::startJob(ClassJob &job)
     try {
         int start = 1;
         if (opts.use_depth_prediction) {
-            start = predictDepth(job.class_gate, job.basis,
-                                 opts.max_layers, opts.oracle);
+            // Shared verdict cache: the oracle search runs once per
+            // (basis, options, class) process-wide instead of once
+            // per class job.
+            start = DepthOracleCache::shared().predict(
+                job.class_gate, job.basis, opts.max_layers,
+                opts.oracle);
             if (start == 0) {
                 job.result = synthesizeLocalTarget(job.class_gate);
                 finishJob();
@@ -235,15 +262,19 @@ BatchState::startJob(ClassJob &job)
  */
 void
 runJobsOnPool(ThreadPool &pool, const SynthOptions &opts,
-              std::vector<std::unique_ptr<ClassJob>> &jobs)
+              std::vector<std::unique_ptr<ClassJob>> &jobs,
+              TaskPriority priority,
+              std::atomic<uint64_t> &restarts_run,
+              std::atomic<uint64_t> &restarts_pruned)
 {
     if (jobs.empty())
         return;
-    BatchState state(pool, opts);
+    BatchState state(pool, opts, priority, restarts_run,
+                     restarts_pruned);
     state.jobs_remaining = jobs.size();
     for (auto &job : jobs) {
         ClassJob *j = job.get();
-        pool.submit([&state, j] { state.startJob(*j); });
+        pool.submit([&state, j] { state.startJob(*j); }, priority);
     }
     std::unique_lock<std::mutex> lock(state.mutex);
     state.done_cv.wait(lock,
@@ -279,10 +310,27 @@ SynthEngine::shared()
     return engine;
 }
 
+SynthEngine::Stats
+SynthEngine::stats() const
+{
+    Stats s;
+    s.restarts_run = restarts_run_.load();
+    s.restarts_pruned = restarts_pruned_.load();
+    return s;
+}
+
+void
+SynthEngine::resetStats()
+{
+    restarts_run_.store(0);
+    restarts_pruned_.store(0);
+}
+
 std::vector<TwoQubitDecomposition>
 SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
                              DecompositionCache &cache,
-                             const SynthOptions &opts)
+                             const SynthOptions &opts,
+                             TaskPriority priority)
 {
     const size_t n = requests.size();
     std::vector<TwoQubitDecomposition> results(n);
@@ -317,7 +365,8 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     // Phase 3: run all jobs to completion on the pool, then insert in
     // job order (= first-appearance order) so cache contents never
     // depend on completion order.
-    runJobsOnPool(*pool_, opts, jobs);
+    runJobsOnPool(*pool_, opts, jobs, priority, restarts_run_,
+                  restarts_pruned_);
     for (auto &job : jobs)
         cache.storeClass(job->key, std::move(job->result));
     cache.noteHits(n - jobs.size());
@@ -336,7 +385,8 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
 std::vector<TwoQubitDecomposition>
 SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
                              SharedDecompositionCache &cache,
-                             const SynthOptions &opts, int device_id)
+                             const SynthOptions &opts, int device_id,
+                             TaskPriority priority)
 {
     using ClassKey = DecompositionCache::ClassKey;
     const size_t n = requests.size();
@@ -395,7 +445,8 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     // Phase 3: run the owned jobs; publish in job order. On error,
     // release every claim so concurrent waiters can take over.
     try {
-        runJobsOnPool(*pool_, opts, jobs);
+        runJobsOnPool(*pool_, opts, jobs, priority, restarts_run_,
+                      restarts_pruned_);
     } catch (...) {
         for (const auto &job : jobs)
             cache.abandon(job->key);

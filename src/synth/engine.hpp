@@ -17,7 +17,10 @@
  *  - the first restart (in index order) that reaches the target
  *    infidelity wins; restarts with larger indices are cooperatively
  *    cancelled (lower indices run to completion so the winner never
- *    depends on thread timing);
+ *    depends on thread timing), and queued restarts that have not
+ *    started yet are *pruned* outright once a smaller index succeeds
+ *    (they would have been cancelled anyway, so skipping their setup
+ *    cannot change the winner);
  *  - if a wave fails, the job advances one depth and launches the
  *    next wave (waves of different jobs interleave freely).
  *
@@ -25,8 +28,14 @@
  * independent of thread count and completion order: restart streams
  * are derived (not shared), selection is by index rather than by
  * completion time, and cache insertion happens in submission order.
+ *
+ * Batches accept a TaskPriority: recalibration resynthesis submits
+ * at TaskPriority::Background so its waves never outcompete
+ * compile-path (Normal) jobs for pool workers. Priority only biases
+ * dequeue order; results are bit-identical across lanes.
  */
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -68,7 +77,8 @@ class SynthEngine
     std::vector<TwoQubitDecomposition>
     synthesizeBatch(const std::vector<SynthRequest> &requests,
                     DecompositionCache &cache,
-                    const SynthOptions &opts);
+                    const SynthOptions &opts,
+                    TaskPriority priority = TaskPriority::Normal);
 
     /**
      * Multi-client batch submission against the fleet-wide shared
@@ -87,10 +97,25 @@ class SynthEngine
     std::vector<TwoQubitDecomposition>
     synthesizeBatch(const std::vector<SynthRequest> &requests,
                     SharedDecompositionCache &cache,
-                    const SynthOptions &opts, int device_id = 0);
+                    const SynthOptions &opts, int device_id = 0,
+                    TaskPriority priority = TaskPriority::Normal);
 
     /** Worker threads in the pool. */
     int threadCount() const { return pool_->size(); }
+
+    /** Cumulative restart accounting across batches. */
+    struct Stats
+    {
+        /** Restarts that actually ran the optimizer. */
+        uint64_t restarts_run = 0;
+        /** Queued restarts skipped at dequeue time because a
+         *  smaller-index restart of their wave had already reached
+         *  the target (submission-time pruning). */
+        uint64_t restarts_pruned = 0;
+    };
+
+    Stats stats() const;
+    void resetStats();
 
     /**
      * Process-wide engine sized from QBASIS_SYNTH_THREADS (or the
@@ -102,6 +127,8 @@ class SynthEngine
   private:
     std::unique_ptr<ThreadPool> owned_; ///< Null for borrowed pools.
     ThreadPool *pool_;
+    std::atomic<uint64_t> restarts_run_{0};
+    std::atomic<uint64_t> restarts_pruned_{0};
 };
 
 /**
@@ -116,13 +143,16 @@ struct SynthClient
     SynthEngine &engine;
     SharedDecompositionCache &cache;
     int device_id = 0;
+    /** Lane of this client's pool submissions; recalibration clients
+     *  use Background so they never starve compile-path batches. */
+    TaskPriority priority = TaskPriority::Normal;
 
     std::vector<TwoQubitDecomposition>
     synthesizeBatch(const std::vector<SynthRequest> &requests,
                     const SynthOptions &opts) const
     {
         return engine.synthesizeBatch(requests, cache, opts,
-                                      device_id);
+                                      device_id, priority);
     }
 };
 

@@ -6,6 +6,7 @@
 #include "linalg/su2.hpp"
 #include "monodromy/depth.hpp"
 #include "opt/adam.hpp"
+#include "synth/depth_cache.hpp"
 #include "opt/lbfgs.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -260,8 +261,10 @@ synthesizeGate(const Mat4 &target, const Mat4 &basis,
 {
     int start = 1;
     if (opts.use_depth_prediction) {
-        start = predictDepth(target, basis, opts.max_layers,
-                             opts.oracle);
+        // Verdicts are cached process-wide: the oracle's multistart
+        // Nelder-Mead search runs once per (basis, options, class).
+        start = DepthOracleCache::shared().predict(
+            target, basis, opts.max_layers, opts.oracle);
         if (start == 0)
             return synthesizeLocalTarget(target);
         if (start > opts.max_layers)

@@ -47,7 +47,7 @@ ThreadPool::~ThreadPool()
 }
 
 void
-ThreadPool::submit(std::function<void()> task)
+ThreadPool::submit(std::function<void()> task, TaskPriority priority)
 {
     size_t slot;
     if (tls_worker_pool == this) {
@@ -58,7 +58,10 @@ ThreadPool::submit(std::function<void()> task)
     }
     {
         std::lock_guard<std::mutex> lock(workers_[slot]->mutex);
-        workers_[slot]->tasks.push_back(std::move(task));
+        if (priority == TaskPriority::Background)
+            workers_[slot]->background.push_back(std::move(task));
+        else
+            workers_[slot]->tasks.push_back(std::move(task));
     }
     // Serialize against the worker's empty-rescan before notifying:
     // without this a push landing between a worker's rescan and its
@@ -69,7 +72,7 @@ ThreadPool::submit(std::function<void()> task)
 }
 
 bool
-ThreadPool::tryRun(size_t self)
+ThreadPool::tryRunLane(size_t self, bool background)
 {
     std::function<void()> task;
     {
@@ -77,9 +80,10 @@ ThreadPool::tryRun(size_t self)
         // stays hot at the back for thieves).
         Worker &w = *workers_[self];
         std::lock_guard<std::mutex> lock(w.mutex);
-        if (!w.tasks.empty()) {
-            task = std::move(w.tasks.front());
-            w.tasks.pop_front();
+        auto &lane = background ? w.background : w.tasks;
+        if (!lane.empty()) {
+            task = std::move(lane.front());
+            lane.pop_front();
         }
     }
     if (!task) {
@@ -88,9 +92,10 @@ ThreadPool::tryRun(size_t self)
         for (size_t k = 1; k < n && !task; ++k) {
             Worker &v = *workers_[(self + k) % n];
             std::lock_guard<std::mutex> lock(v.mutex);
-            if (!v.tasks.empty()) {
-                task = std::move(v.tasks.back());
-                v.tasks.pop_back();
+            auto &lane = background ? v.background : v.tasks;
+            if (!lane.empty()) {
+                task = std::move(lane.back());
+                lane.pop_back();
             }
         }
     }
@@ -98,6 +103,16 @@ ThreadPool::tryRun(size_t self)
         return false;
     task();
     return true;
+}
+
+bool
+ThreadPool::tryRun(size_t self)
+{
+    // Exhaust the Normal lane pool-wide before taking a Background
+    // task: recalibration work never outcompetes the serving path
+    // for a free worker.
+    return tryRunLane(self, /*background=*/false)
+           || tryRunLane(self, /*background=*/true);
 }
 
 void
@@ -117,7 +132,7 @@ ThreadPool::workerLoop(size_t self)
         bool any = false;
         for (const auto &w : workers_) {
             std::lock_guard<std::mutex> wl(w->mutex);
-            if (!w->tasks.empty()) {
+            if (!w->tasks.empty() || !w->background.empty()) {
                 any = true;
                 break;
             }

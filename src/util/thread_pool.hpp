@@ -17,6 +17,15 @@
  * depth waves do), so workers never block waiting on other tasks;
  * completion signalling is the caller's responsibility (see
  * SynthEngine) or use parallelFor() for the simple fork-join case.
+ *
+ * Two priority lanes: every worker owns a Normal and a Background
+ * deque, and both the local pop and the steal scan exhaust Normal
+ * work pool-wide before touching a Background task. Background is
+ * for work that must not starve the serving path -- recalibration
+ * pipelines submit there so compile-path synthesis restarts always
+ * win a free worker first. A Background task that is already running
+ * is never preempted; the lane only biases dequeue order, so overall
+ * throughput (and determinism) is unchanged.
  */
 
 #include <atomic>
@@ -31,6 +40,14 @@
 #include <vector>
 
 namespace qbasis {
+
+/** Dequeue lane of a submitted task. */
+enum class TaskPriority
+{
+    Normal,     ///< Serving path (default); always dequeued first.
+    Background, ///< Maintenance work (recalibration pipelines);
+                ///< runs only when no Normal task is pending.
+};
 
 /** Fixed-size work-stealing thread pool. */
 class ThreadPool
@@ -47,7 +64,8 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /** Enqueue a task. Safe to call from worker threads. */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task,
+                TaskPriority priority = TaskPriority::Normal);
 
     /**
      * Run fn(i) for i in [0, n) across the pool and block until all
@@ -67,11 +85,13 @@ class ThreadPool
     struct Worker
     {
         std::deque<std::function<void()>> tasks;
+        std::deque<std::function<void()>> background;
         std::mutex mutex;
     };
 
     void workerLoop(size_t self);
     bool tryRun(size_t self);
+    bool tryRunLane(size_t self, bool background);
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
