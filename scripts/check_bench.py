@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Reads BENCH_synth.json, BENCH_fleet.json, and BENCH_recalib.json
-(produced by `bench_synth --quick`, `bench_fleet --quick`, and
-`bench_recalib --quick`) and gates on the floors committed in
-bench/baselines.json:
+Reads BENCH_synth.json, BENCH_fleet.json, BENCH_recalib.json, and
+BENCH_persist.json (produced by the corresponding --quick bench runs)
+and gates on the floors committed in bench/baselines.json:
 
   * every workload's engine/serial agreement (results_match),
   * fleet bit-determinism at 1 vs N shards,
   * cache speedup and hit-rate floors,
   * cross-device sharing floors for multi-device fleets,
   * recalibration: sync-vs-overlapped bit-determinism, end-to-end
-    speedup, overlap ratio, and a zero-compile-path-stall ceiling.
+    speedup, overlap ratio, and a zero-compile-path-stall ceiling,
+  * persistence: warm-start speedup and hit rate, warm/cold
+    bit-identical reports, corrupt-snapshot rejection, and the
+    retirement sweep shrinking the snapshot.
 
-Exits nonzero with one line per violated floor. Pure stdlib.
+Every committed floor is evaluated and printed as one row of a diff
+table (key, observed, requirement, status), so a failing run shows
+the complete picture instead of the first violation only. Exits
+nonzero when any row fails. Pure stdlib.
 
 Usage: scripts/check_bench.py [--synth PATH] [--fleet PATH]
-                              [--recalib PATH] [--baselines PATH]
+                              [--recalib PATH] [--persist PATH]
+                              [--baselines PATH]
 """
 
 import argparse
@@ -32,7 +38,60 @@ def load(path):
         return json.load(f)
 
 
-def check_synth(bench, base, failures):
+class Gate:
+    """Collects one diff-table row per evaluated floor."""
+
+    def __init__(self):
+        self.rows = []
+
+    def check(self, key, observed, requirement, ok):
+        self.rows.append((key, observed, requirement, bool(ok)))
+
+    def floor(self, key, observed, floor):
+        self.check(key, observed, f">= {floor}", observed >= floor)
+
+    def ceiling(self, key, observed, ceiling):
+        self.check(key, observed, f"<= {ceiling}", observed <= ceiling)
+
+    def require(self, key, observed):
+        self.check(key, observed, "== true", bool(observed))
+
+    def missing(self, key, detail):
+        self.check(key, f"missing ({detail})", "present", False)
+
+    @property
+    def failures(self):
+        return [r for r in self.rows if not r[3]]
+
+    def print_table(self):
+        def fmt(v):
+            if isinstance(v, bool):
+                return "true" if v else "false"
+            if isinstance(v, float):
+                return f"{v:.4g}"
+            return str(v)
+
+        rows = [(k, fmt(o), str(r), "ok" if ok else "FAIL")
+                for k, o, r, ok in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+            for i, h in enumerate(
+                ("key", "observed", "requirement", "status")
+            )
+        ]
+        header = ("key", "observed", "requirement", "status")
+        print(
+            f"{header[0]:<{widths[0]}}  {header[1]:>{widths[1]}}  "
+            f"{header[2]:>{widths[2]}}  {header[3]:>{widths[3]}}"
+        )
+        for k, o, r, s in rows:
+            print(
+                f"{k:<{widths[0]}}  {o:>{widths[1]}}  "
+                f"{r:>{widths[2]}}  {s:>{widths[3]}}"
+            )
+
+
+def check_synth(bench, base, gate):
     floors = base.get("synth", {})
     workloads = bench.get("workloads", {})
     # Every workload with a committed floor must be present: a
@@ -41,40 +100,36 @@ def check_synth(bench, base, failures):
         floors.get("min_hit_rate", {})
     )
     for name in sorted(expected - set(workloads)):
-        failures.append(
-            f"synth[{name}]: workload missing from bench output"
-        )
-    for name, wl in workloads.items():
-        if floors.get("require_results_match") and not wl.get(
-            "results_match"
-        ):
-            failures.append(
-                f"synth[{name}]: engine/serial results diverged "
-                "(results_match=false)"
+        gate.missing(f"synth[{name}]", "workload absent from output")
+    for name, wl in sorted(workloads.items()):
+        if floors.get("require_results_match"):
+            gate.require(
+                f"synth[{name}].results_match", wl.get("results_match")
             )
         floor = floors.get("min_speedup", {}).get(name)
-        if floor is not None and wl.get("speedup", 0.0) < floor:
-            failures.append(
-                f"synth[{name}]: speedup {wl.get('speedup')}x below "
-                f"floor {floor}x"
+        if floor is not None:
+            gate.floor(
+                f"synth[{name}].speedup", wl.get("speedup", 0.0), floor
             )
         floor = floors.get("min_hit_rate", {}).get(name)
-        if floor is not None and wl.get("cache_hit_rate", 0.0) < floor:
-            failures.append(
-                f"synth[{name}]: cache hit rate "
-                f"{wl.get('cache_hit_rate')} below floor {floor}"
+        if floor is not None:
+            gate.floor(
+                f"synth[{name}].cache_hit_rate",
+                wl.get("cache_hit_rate", 0.0),
+                floor,
             )
 
 
-def check_fleet(bench, base, failures):
+def check_fleet(bench, base, gate):
     floors = base.get("fleet", {})
     det = bench.get("determinism", {})
-    if floors.get("require_determinism") and not det.get(
-        "results_match"
-    ):
-        failures.append(
-            f"fleet: results at {det.get('shards_a')} vs "
-            f"{det.get('shards_b')} shards are not bit-identical"
+    if floors.get("require_determinism"):
+        gate.check(
+            "fleet.determinism.results_match",
+            bool(det.get("results_match")),
+            f"{det.get('shards_a')} vs {det.get('shards_b')} shards "
+            "bit-identical",
+            det.get("results_match"),
         )
     multi = [
         f
@@ -82,81 +137,107 @@ def check_fleet(bench, base, failures):
         if f.get("devices", 0) >= 2
     ]
     if not multi:
-        failures.append("fleet: no multi-device fleet in bench output")
+        gate.missing("fleet[multi-device]", "no fleet with >= 2 devices")
         return
     for f in multi:
         n = f.get("devices")
         floor = floors.get("min_cross_device_hit_rate")
-        if (
-            floor is not None
-            and f.get("cross_device_hit_rate", 0.0) < floor
-        ):
-            failures.append(
-                f"fleet[{n}]: cross-device hit rate "
-                f"{f.get('cross_device_hit_rate')} below floor {floor}"
+        if floor is not None:
+            gate.floor(
+                f"fleet[{n}].cross_device_hit_rate",
+                f.get("cross_device_hit_rate", 0.0),
+                floor,
             )
         floor = floors.get("min_hit_rate")
-        if floor is not None and f.get("hit_rate", 0.0) < floor:
-            failures.append(
-                f"fleet[{n}]: hit rate {f.get('hit_rate')} below "
-                f"floor {floor}"
+        if floor is not None:
+            gate.floor(
+                f"fleet[{n}].hit_rate", f.get("hit_rate", 0.0), floor
             )
         floor = floors.get("min_multi_device_classes")
-        if (
-            floor is not None
-            and f.get("multi_device_classes", 0) < floor
-        ):
-            failures.append(
-                f"fleet[{n}]: only {f.get('multi_device_classes')} "
-                f"multi-device classes (floor {floor})"
+        if floor is not None:
+            gate.floor(
+                f"fleet[{n}].multi_device_classes",
+                f.get("multi_device_classes", 0),
+                floor,
             )
 
 
-def check_recalib(bench, base, failures):
+def check_recalib(bench, base, gate):
     floors = base.get("recalib", {})
     det = bench.get("determinism", {})
-    if floors.get("require_determinism") and not det.get(
-        "results_match"
-    ):
-        failures.append(
-            "recalib: post-cycle reports of the synchronous and "
-            "overlapped runs are not bit-identical"
+    if floors.get("require_determinism"):
+        gate.check(
+            "recalib.determinism.results_match",
+            bool(det.get("results_match")),
+            "sync vs overlapped bit-identical",
+            det.get("results_match"),
         )
     async_side = bench.get("async", {})
     floor = floors.get("min_speedup")
-    if floor is not None and bench.get("speedup", 0.0) < floor:
-        failures.append(
-            f"recalib: end-to-end speedup {bench.get('speedup')}x "
-            f"below floor {floor}x"
-        )
+    if floor is not None:
+        gate.floor("recalib.speedup", bench.get("speedup", 0.0), floor)
     ceiling = floors.get("max_compile_stall_ms")
-    if (
-        ceiling is not None
-        and async_side.get("compile_stall_ms", 0.0) > ceiling
-    ):
-        failures.append(
-            "recalib: overlapped compile path stalled "
-            f"{async_side.get('compile_stall_ms')} ms "
-            f"(ceiling {ceiling} ms)"
+    if ceiling is not None:
+        gate.ceiling(
+            "recalib.async.compile_stall_ms",
+            async_side.get("compile_stall_ms", 0.0),
+            ceiling,
         )
     floor = floors.get("min_overlap_ratio")
-    if (
-        floor is not None
-        and async_side.get("overlap_ratio", 0.0) < floor
-    ):
-        failures.append(
-            f"recalib: overlap ratio {async_side.get('overlap_ratio')}"
-            f" below floor {floor}"
+    if floor is not None:
+        gate.floor(
+            "recalib.async.overlap_ratio",
+            async_side.get("overlap_ratio", 0.0),
+            floor,
         )
     floor = floors.get("min_recalibrated_edges")
-    if (
-        floor is not None
-        and bench.get("fleet", {}).get("recalibrated_edges", 0) < floor
-    ):
-        failures.append(
-            "recalib: only "
-            f"{bench.get('fleet', {}).get('recalibrated_edges')} "
-            f"edges recalibrated (floor {floor})"
+    if floor is not None:
+        gate.floor(
+            "recalib.fleet.recalibrated_edges",
+            bench.get("fleet", {}).get("recalibrated_edges", 0),
+            floor,
+        )
+
+
+def check_persist(bench, base, gate):
+    floors = base.get("persist", {})
+    if floors.get("require_results_match"):
+        gate.check(
+            "persist.results_match",
+            bool(bench.get("results_match")),
+            "warm pass bit-identical to cold",
+            bench.get("results_match"),
+        )
+    if floors.get("require_corrupt_rejected"):
+        gate.require(
+            "persist.corrupt_rejected", bench.get("corrupt_rejected")
+        )
+    floor = floors.get("min_warm_speedup")
+    if floor is not None:
+        gate.floor(
+            "persist.warm_speedup", bench.get("speedup", 0.0), floor
+        )
+    floor = floors.get("min_warm_hit_rate")
+    if floor is not None:
+        gate.floor(
+            "persist.warm.hit_rate",
+            bench.get("warm", {}).get("hit_rate", 0.0),
+            floor,
+        )
+    retire = bench.get("retirement", {})
+    if floors.get("require_retirement_reduced"):
+        gate.check(
+            "persist.retirement.reduced",
+            bool(retire.get("reduced")),
+            f"{retire.get('bytes_before')} -> "
+            f"{retire.get('bytes_after')} bytes after the sweep",
+            retire.get("reduced"),
+        )
+    floor = floors.get("min_retired_classes")
+    if floor is not None:
+        gate.floor(
+            "persist.retirement.retired", retire.get("retired", 0),
+            floor,
         )
 
 
@@ -168,23 +249,37 @@ def main():
         "--recalib", default=REPO / "BENCH_recalib.json"
     )
     parser.add_argument(
+        "--persist", default=REPO / "BENCH_persist.json"
+    )
+    parser.add_argument(
         "--baselines", default=REPO / "bench" / "baselines.json"
     )
     args = parser.parse_args()
 
     base = load(args.baselines)
-    failures = []
-    check_synth(load(args.synth), base, failures)
-    check_fleet(load(args.fleet), base, failures)
-    check_recalib(load(args.recalib), base, failures)
+    gate = Gate()
+    for name, path, check in (
+        ("synth", args.synth, check_synth),
+        ("fleet", args.fleet, check_fleet),
+        ("recalib", args.recalib, check_recalib),
+        ("persist", args.persist, check_persist),
+    ):
+        try:
+            check(load(path), base, gate)
+        except (OSError, json.JSONDecodeError) as err:
+            gate.missing(name, err.__class__.__name__)
 
+    gate.print_table()
+    failures = gate.failures
     if failures:
-        print("bench gate: FAIL")
-        for f in failures:
-            print(f"  - {f}")
+        print(
+            f"bench gate: FAIL ({len(failures)} of {len(gate.rows)} "
+            "checks)"
+        )
         return 1
-    print("bench gate: OK (results_match, determinism, and all "
-          "committed floors hold)")
+    print(
+        f"bench gate: OK (all {len(gate.rows)} committed checks hold)"
+    )
     return 0
 
 

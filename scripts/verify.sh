@@ -5,9 +5,10 @@
 #   scripts/verify.sh [--quick] [build-dir]
 #
 #   --quick    skip the bench pass (bench_synth + bench_fleet +
-#              bench_recalib + scripts/check_bench.py); the fleet and
-#              recalib smokes still run so every matrix job exercises
-#              the sharded driver and the async retune pipeline.
+#              bench_recalib + bench_persist + scripts/check_bench.py);
+#              the fleet, recalib, and persist smokes still run so
+#              every matrix job exercises the sharded driver, the
+#              async retune pipeline, and the snapshot round trip.
 #
 # Environment:
 #   CMAKE_BUILD_TYPE   build configuration (default Release)
@@ -46,10 +47,16 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 # bit-determinism and the zero-stall assert are the exit code.
 "$BUILD_DIR/bench_recalib" --smoke
 
+# Persist smoke: snapshot save -> warm restart -> bit-identical
+# compile, retirement sweep shrinkage, and corrupt-snapshot
+# rejection are the exit code.
+"$BUILD_DIR/bench_persist" --smoke
+
 if [ "$QUICK" = 0 ]; then
   "$BUILD_DIR/bench_synth" --quick
   "$BUILD_DIR/bench_fleet" --quick
   "$BUILD_DIR/bench_recalib" --quick
+  "$BUILD_DIR/bench_persist" --quick
   python3 scripts/check_bench.py
 fi
 echo "verify: OK"

@@ -58,6 +58,8 @@ DriftCycle::advance()
     ++cycle_;
     Step step;
     step.cycle = cycle_;
+    step.retire_cache = opts_.retire_period > 0
+                        && cycle_ % opts_.retire_period == 0;
     step.drifted_edges.reserve(static_cast<size_t>(n_edges_));
     const uint64_t retune_seed =
         Rng::deriveSeed(opts_.seed, kRetuneStreamTag);

@@ -62,6 +62,14 @@ struct DriftCycleOptions
      */
     double recalibrate_fraction = 1.0;
     uint64_t seed = 2022; ///< Base seed of every per-edge stream.
+    /**
+     * Recommend a cache-retirement epoch sweep every N cycles
+     * (0 = never). Surfaced as Step::retire_cache; serving loops
+     * react by calling FleetDriver::retireCache() after the cycle's
+     * drain and before any snapshot write, so persisted caches never
+     * accumulate classes of drifted-away bases unboundedly.
+     */
+    uint64_t retire_period = 0;
 };
 
 /**
@@ -79,6 +87,9 @@ class DriftCycle
     {
         uint64_t cycle = 0; ///< 1-based cycle index.
         std::vector<int> drifted_edges; ///< Edges to recalibrate.
+        /** True when this cycle hits the retire_period cadence: run
+         *  the cache-retirement sweep after the cycle's drain. */
+        bool retire_cache = false;
     };
 
     /** Advance one cycle; returns the edges that need retuning. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <exception>
 #include <thread>
 
@@ -100,6 +101,57 @@ recalibReportsBitIdentical(const RecalibCycleReport &a,
         }
     }
     return true;
+}
+
+bool
+compilePassesBitIdentical(const FleetCompilePass &a,
+                          const FleetCompilePass &b)
+{
+    if (a.results.size() != b.results.size())
+        return false;
+    for (size_t d = 0; d < a.results.size(); ++d) {
+        if (a.results[d].size() != b.results[d].size())
+            return false;
+        for (size_t c = 0; c < a.results[d].size(); ++c) {
+            const VersionedCompileResult &ra = a.results[d][c];
+            const VersionedCompileResult &rb = b.results[d][c];
+            if (ra.basis_version != rb.basis_version
+                || !circuitResultsBitIdentical(ra.result, rb.result))
+                return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+compilePassDigest(const FleetCompilePass &pass)
+{
+    // Mixes exactly the fields compilePassesBitIdentical (via
+    // circuitResultsBitIdentical, above) compares; extend both
+    // together when CompiledCircuitResult grows a scored field.
+    uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](uint64_t v) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= (v >> (8 * byte)) & 0xffull;
+            h *= 1099511628211ull;
+        }
+    };
+    const auto mix_double = [&mix](double v) {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    };
+    for (const auto &device : pass.results) {
+        for (const VersionedCompileResult &r : device) {
+            mix(r.basis_version);
+            mix_double(r.result.fidelity);
+            mix_double(r.result.makespan_ns);
+            mix(static_cast<uint64_t>(r.result.swaps_inserted));
+            mix(static_cast<uint64_t>(r.result.two_qubit_gates));
+            mix(static_cast<uint64_t>(r.result.depth));
+        }
+    }
+    return h;
 }
 
 bool
@@ -385,6 +437,75 @@ FleetDriver::engineStats() const
     return s;
 }
 
+CacheIoResult
+FleetDriver::saveCache(const std::string &path)
+{
+    return saveCacheSnapshot(cache_, path);
+}
+
+CacheIoResult
+FleetDriver::loadCache(const std::string &path)
+{
+    const CacheIoResult r = loadCacheSnapshot(path, cache_);
+    if (r.ok()) {
+        warm_base_hits_.store(cache_.hits());
+        warm_base_misses_.store(cache_.misses());
+    }
+    return r;
+}
+
+std::vector<uint64_t>
+FleetDriver::liveContexts() const
+{
+    std::vector<uint64_t> contexts;
+    for (const auto &state : devices_) {
+        appendLiveContexts(state->calibration.snapshot(), opts_.synth,
+                           contexts);
+    }
+    std::sort(contexts.begin(), contexts.end());
+    contexts.erase(std::unique(contexts.begin(), contexts.end()),
+                   contexts.end());
+    return contexts;
+}
+
+size_t
+FleetDriver::retireCache()
+{
+    if (devices_.empty())
+        return 0;
+    return cache_.retireExcept(liveContexts());
+}
+
+CacheManifest
+FleetDriver::cacheManifest() const
+{
+    CacheManifest m;
+    const std::vector<uint64_t> live = liveContexts();
+    m.live_contexts = live.size();
+    // One pass under the stripe locks -- no entry copies, no encoder
+    // run: the snapshot size is arithmetic over per-entry payload
+    // sizes.
+    size_t payload_bytes = 0;
+    cache_.forEachPublished([&](const DecompositionCache::ClassKey &key,
+                                const TwoQubitDecomposition &dec) {
+        ++m.entries;
+        payload_bytes += cacheEntryEncodedBytes(dec);
+        if (std::binary_search(live.begin(), live.end(), key.context))
+            ++m.live_entries;
+        else
+            ++m.dead_entries;
+    });
+    m.bytes = cacheSnapshotEncodedBytes(m.entries, payload_bytes);
+    const uint64_t hits = cache_.hits();
+    const uint64_t misses = cache_.misses();
+    const uint64_t base_hits = warm_base_hits_.load();
+    const uint64_t base_misses = warm_base_misses_.load();
+    m.warm_hits = hits >= base_hits ? hits - base_hits : 0;
+    m.warm_misses =
+        misses >= base_misses ? misses - base_misses : 0;
+    return m;
+}
+
 FleetCompilePass
 FleetDriver::compileCircuits(const std::vector<FleetCircuit> &circuits)
 {
@@ -457,6 +578,7 @@ FleetDriver::cycleReport(uint64_t cycle,
         }
         absorbEngineStats(engine);
     });
+    report.cache = cacheManifest();
     return report;
 }
 

@@ -33,6 +33,7 @@
 #include "calib/async/recalib_scheduler.hpp"
 #include "core/experiment.hpp"
 #include "core/recalib.hpp"
+#include "synth/cache_io.hpp"
 #include "synth/shared_cache.hpp"
 
 namespace qbasis {
@@ -166,6 +167,38 @@ struct FleetCompilePass
     double snapshot_wait_ms = 0.0;
 };
 
+/**
+ * Accounting view of the shared Weyl-class cache against the fleet's
+ * live calibrations (see FleetDriver::cacheManifest()).
+ *
+ * Live/dead is defined by basis-context refcounting: an entry is
+ * live when its key.context (basis gate + synthesis options hash)
+ * appears in at least one live VersionedBasisSet snapshot, dead
+ * otherwise -- dead entries are what retireCache() drops. The warm
+ * window starts at construction or at the last loadCache(), so
+ * warm_hit_rate measures how much of the post-restore workload was
+ * served without resynthesis.
+ */
+struct CacheManifest
+{
+    size_t entries = 0;       ///< Published classes in the cache.
+    size_t bytes = 0;         ///< Encoded snapshot size (cache_io).
+    size_t live_contexts = 0; ///< Distinct live basis contexts.
+    size_t live_entries = 0;  ///< Entries keyed by a live context.
+    size_t dead_entries = 0;  ///< Entries a retirement sweep drops.
+    uint64_t warm_hits = 0;   ///< Hits since the warm window opened.
+    uint64_t warm_misses = 0; ///< Misses since the warm window opened.
+
+    double
+    warmHitRate() const
+    {
+        const uint64_t total = warm_hits + warm_misses;
+        return total > 0 ? static_cast<double>(warm_hits)
+                               / static_cast<double>(total)
+                         : 0.0;
+    }
+};
+
 /** Post-drain state of one device after a drift cycle. */
 struct RecalibDeviceCycle
 {
@@ -187,11 +220,33 @@ struct RecalibCycleReport
 {
     uint64_t cycle = 0;
     std::vector<RecalibDeviceCycle> devices;
+    /** Cache accounting at report time. Excluded from the
+     *  bit-identical contract: hit/miss history legitimately differs
+     *  between a warm-started and a cold run that agree on every
+     *  result. */
+    CacheManifest cache;
 };
 
-/** Bitwise equality of two post-cycle reports. */
+/** Bitwise equality of two post-cycle reports (the CacheManifest is
+ *  excluded; see RecalibCycleReport::cache). */
 bool recalibReportsBitIdentical(const RecalibCycleReport &a,
                                 const RecalibCycleReport &b);
+
+/** Bitwise equality of two compile passes' results (per-cell scores
+ *  and served calibration versions; wall/wait times excluded). The
+ *  warm-start contract gates on this: a fleet compilation restored
+ *  from a snapshot must reproduce the cold pass exactly. */
+bool compilePassesBitIdentical(const FleetCompilePass &a,
+                               const FleetCompilePass &b);
+
+/**
+ * FNV-64 digest over exactly the fields compilePassesBitIdentical
+ * compares (defined beside it so the two can never drift apart).
+ * The CI persist-roundtrip job writes this next to the snapshot and
+ * a later process asserts equality -- the cross-process form of the
+ * bit-identical contract.
+ */
+uint64_t compilePassDigest(const FleetCompilePass &pass);
 
 /** Shard-parallel fleet driver. */
 class FleetDriver
@@ -269,6 +324,46 @@ class FleetDriver
     cycleReport(uint64_t cycle,
                 const std::vector<FleetCircuit> &verify = {});
 
+    // -- Cache persistence + retirement ------------------------------
+
+    /**
+     * Snapshot the shared Weyl-class cache to `path` (synth/cache_io
+     * format). Call after drainRecalibration() -- and, to keep files
+     * from growing unboundedly, after retireCache() -- so the
+     * snapshot holds exactly the settled, live-referenced state.
+     */
+    CacheIoResult saveCache(const std::string &path);
+
+    /**
+     * Warm-start: merge a snapshot into the shared cache (existing
+     * entries win; see SharedDecompositionCache::insertLoaded) and
+     * open the warm-hit-rate window. Loaded classes are bit-identical
+     * to freshly synthesized ones and re-dress through the same
+     * canonicalKakDecompose() path, so a warm compile pass reproduces
+     * the cold pass exactly.
+     */
+    CacheIoResult loadCache(const std::string &path);
+
+    /**
+     * Epoch-sweep retirement: drop every cached class whose basis
+     * context no longer appears in any live device's VersionedBasisSet
+     * snapshot. Run between drift cycles, after drainRecalibration()
+     * and before saveCache() (a sweep during an in-flight
+     * recalibration could drop classes presynthesized for a not yet
+     * published basis). A no-op (returns 0) when no devices are live:
+     * run()-style fleets have no versioned calibrations to refcount
+     * against. Returns the number of classes retired.
+     */
+    size_t retireCache();
+
+    /** Sorted, deduplicated basis contexts of every live device --
+     *  the refcount roots retireCache() sweeps against. */
+    std::vector<uint64_t> liveContexts() const;
+
+    /** Cache accounting against the live calibrations (entry/byte
+     *  counts, live/dead split, warm hit rate). */
+    CacheManifest cacheManifest() const;
+
     SharedDecompositionCache &cache() { return cache_; }
     ThreadPool &pool() { return pool_; }
     const FleetOptions &options() const { return opts_; }
@@ -305,6 +400,10 @@ class FleetDriver
     std::unique_ptr<RecalibScheduler> recalib_;
     std::atomic<uint64_t> restarts_run_{0};
     std::atomic<uint64_t> restarts_pruned_{0};
+    /** Cache counters at the last loadCache() (0 until then): the
+     *  base of the warm-hit-rate window. */
+    std::atomic<uint64_t> warm_base_hits_{0};
+    std::atomic<uint64_t> warm_base_misses_{0};
 };
 
 } // namespace qbasis

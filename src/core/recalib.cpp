@@ -89,4 +89,16 @@ compileAndScore(const GridDevice &device,
     return out;
 }
 
+void
+appendLiveContexts(const CalibrationSnapshot &snap,
+                   const SynthOptions &synth,
+                   std::vector<uint64_t> &out)
+{
+    if (!snap.set)
+        return;
+    for (const EdgeBasis &basis : snap.set->bases)
+        out.push_back(DecompositionCache::contextHash(basis.gate,
+                                                      synth));
+}
+
 } // namespace qbasis

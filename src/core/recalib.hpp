@@ -109,6 +109,19 @@ VersionedCompileResult compileAndScore(const GridDevice &device,
                                        double t_1q_ns,
                                        double t_coherence_ns);
 
+/**
+ * Append the (basis gate, synthesis options) context hashes of every
+ * edge of the snapshot's set to `out` (unsorted, duplicates kept --
+ * callers sort+unique fleet-wide). These are the refcount roots of
+ * cycle-aware cache retirement: a Weyl-class entry is *live* exactly
+ * when its key.context appears in some live VersionedBasisSet
+ * snapshot, and retirable otherwise (its basis was drifted away and
+ * no compile can ever look it up again).
+ */
+void appendLiveContexts(const CalibrationSnapshot &snap,
+                        const SynthOptions &synth,
+                        std::vector<uint64_t> &out);
+
 } // namespace qbasis
 
 #endif // QBASIS_CORE_RECALIB_HPP

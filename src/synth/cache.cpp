@@ -41,12 +41,13 @@ DecompositionCache::hashGate(const Mat4 &m)
     // FNV-1a over quantized entries; quantization makes hashes stable
     // against sub-1e-9 rounding differences.
     Fnv f;
+    const double scale = 1.0 / kGateHashQuantum;
     for (int i = 0; i < 4; ++i) {
         for (int j = 0; j < 4; ++j) {
             f.mix(static_cast<uint64_t>(
-                std::llround(m(i, j).real() * 1e9)));
+                std::llround(m(i, j).real() * scale)));
             f.mix(static_cast<uint64_t>(
-                std::llround(m(i, j).imag() * 1e9)));
+                std::llround(m(i, j).imag() * scale)));
         }
     }
     return f.h;
@@ -70,16 +71,23 @@ DecompositionCache::hashOptions(const SynthOptions &opts)
     return f.h;
 }
 
+uint64_t
+DecompositionCache::contextHash(const Mat4 &basis,
+                                const SynthOptions &opts)
+{
+    // Combine the two content hashes asymmetrically so swapping
+    // basis and options cannot collide.
+    return hashGate(basis) * 0x9e3779b97f4a7c15ull
+           + hashOptions(opts);
+}
+
 DecompositionCache::ClassKey
 DecompositionCache::classKey(const CartanCoords &canonical,
                              const Mat4 &basis,
                              const SynthOptions &opts)
 {
     ClassKey key;
-    // Combine the two content hashes asymmetrically so swapping
-    // basis and options cannot collide.
-    key.context = hashGate(basis) * 0x9e3779b97f4a7c15ull
-                  + hashOptions(opts);
+    key.context = contextHash(basis, opts);
     key.qx = std::llround(canonical.tx / kCoordQuantum);
     key.qy = std::llround(canonical.ty / kCoordQuantum);
     key.qz = std::llround(canonical.tz / kCoordQuantum);

@@ -57,6 +57,15 @@ class DecompositionCache
     };
 
     /**
+     * Gate-matrix hashing resolution of hashGate(): entries are
+     * quantized to this step before hashing, so hashes are stable
+     * against sub-resolution rounding noise. Recorded in cache
+     * snapshots (synth/cache_io) -- a snapshot hashed at a different
+     * resolution must not be merged.
+     */
+    static constexpr double kGateHashQuantum = 1e-9;
+
+    /**
      * Canonical-coordinate quantization step for class keys. The
      * class decomposition is synthesized for CAN at the *quantized*
      * coordinates, so re-dressing a target whose exact coordinates
@@ -132,6 +141,15 @@ class DecompositionCache
 
     /** Content hash of the synthesis options that affect results. */
     static uint64_t hashOptions(const SynthOptions &opts);
+
+    /**
+     * Context half of the class key: the combined (basis gate,
+     * synthesis options) hash shared by every Weyl class synthesized
+     * against them. Cache retirement refcounts these against the
+     * fleet's live calibrations (see appendLiveContexts()).
+     */
+    static uint64_t contextHash(const Mat4 &basis,
+                                const SynthOptions &opts);
 
   private:
     std::map<ClassKey, TwoQubitDecomposition> cache_;

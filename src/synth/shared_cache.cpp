@@ -1,5 +1,7 @@
 #include "synth/shared_cache.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -135,6 +137,8 @@ SharedDecompositionCache::stats() const
             if (!entry.ready)
                 continue;
             ++st.classes;
+            if (entry.device_lookups.empty())
+                continue; // loaded from a snapshot, never looked up
             if (entry.device_lookups.size() > 1)
                 ++st.multi_device_classes;
             // Everything beyond the lowest-numbered device's own
@@ -169,6 +173,79 @@ SharedDecompositionCache::size() const
         }
     }
     return n;
+}
+
+std::vector<std::pair<SharedDecompositionCache::ClassKey,
+                      TwoQubitDecomposition>>
+SharedDecompositionCache::exportEntries() const
+{
+    std::vector<std::pair<ClassKey, TwoQubitDecomposition>> out;
+    for (const auto &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe->mutex);
+        for (const auto &[key, entry] : stripe->entries) {
+            if (entry.ready)
+                out.emplace_back(key, entry.dec);
+        }
+    }
+    // Stripe order interleaves keys; sort so the export (and hence
+    // the snapshot bytes) depends only on the entry set.
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return out;
+}
+
+void
+SharedDecompositionCache::forEachPublished(
+    const std::function<void(const ClassKey &,
+                             const TwoQubitDecomposition &)> &fn)
+    const
+{
+    for (const auto &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe->mutex);
+        for (const auto &[key, entry] : stripe->entries) {
+            if (entry.ready)
+                fn(key, entry.dec);
+        }
+    }
+}
+
+bool
+SharedDecompositionCache::insertLoaded(const ClassKey &key,
+                                       TwoQubitDecomposition dec)
+{
+    Stripe &s = stripeOf(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto [it, inserted] = s.entries.try_emplace(key);
+    if (!inserted)
+        return false; // existing entry (ready or claimed) wins
+    it->second.dec = std::move(dec);
+    it->second.ready = true;
+    return true;
+}
+
+size_t
+SharedDecompositionCache::retireExcept(
+    const std::vector<uint64_t> &live_contexts)
+{
+    size_t dropped = 0;
+    for (const auto &stripe : stripes_) {
+        std::lock_guard<std::mutex> lock(stripe->mutex);
+        for (auto it = stripe->entries.begin();
+             it != stripe->entries.end();) {
+            const bool live = std::binary_search(
+                live_contexts.begin(), live_contexts.end(),
+                it->first.context);
+            if (!live && it->second.ready) {
+                it = stripe->entries.erase(it);
+                ++dropped;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return dropped;
 }
 
 void

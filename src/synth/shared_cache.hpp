@@ -38,6 +38,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <vector>
@@ -140,6 +141,52 @@ class SharedDecompositionCache
 
     /** Drop everything. No batch may be in flight. */
     void clear();
+
+    // -- Persistence + retirement (synth/cache_io, core/fleet) ------
+
+    /**
+     * Snapshot every *published* class, sorted by key -- the input of
+     * the serializer (sorting makes snapshot bytes a pure function of
+     * the entry set). Claimed-but-unpublished classes are skipped:
+     * their owner publishes the same bytes later anyway.
+     */
+    std::vector<std::pair<ClassKey, TwoQubitDecomposition>>
+    exportEntries() const;
+
+    /**
+     * Visit every published class under the stripe locks, without
+     * copying decompositions -- manifest accounting (live/dead
+     * counts, encoded-size sums) at O(1) extra memory. `fn` must not
+     * reenter the cache. Visit order is stripe-interleaved, not
+     * key-sorted.
+     */
+    void forEachPublished(
+        const std::function<void(const ClassKey &,
+                                 const TwoQubitDecomposition &)> &fn)
+        const;
+
+    /**
+     * Merge one deserialized class into the cache. Returns true when
+     * inserted; an entry already present -- published, or claimed by
+     * an in-flight owner -- wins and the loaded copy is dropped
+     * (published entries are pure functions of the key, so the owner
+     * converges on the same bytes). Loaded entries advance neither
+     * the hit nor the miss counter: warm hit rates measure lookups,
+     * not loads.
+     */
+    bool insertLoaded(const ClassKey &key, TwoQubitDecomposition dec);
+
+    /**
+     * Epoch-sweep retirement: drop every published class whose
+     * key.context is absent from `live_contexts` (sorted ascending;
+     * see DecompositionCache::contextHash and appendLiveContexts()).
+     * Returns the number of classes dropped. In-flight claims are
+     * never touched, but published-entry pointers held by a running
+     * batch would dangle -- like clear(), this must not run while any
+     * batch is in flight (the fleet driver runs it between drift
+     * cycles, after drainRecalibration()).
+     */
+    size_t retireExcept(const std::vector<uint64_t> &live_contexts);
 
   private:
     /** One class entry; lives in a stable map node. */
