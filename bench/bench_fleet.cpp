@@ -24,8 +24,13 @@
  *       "cross_device_hits": int, "cross_device_hit_rate": double,
  *       "multi_device_classes": int } },
  *   "determinism": { "devices": int, "shards_a": int,
- *                    "shards_b": int, "results_match": bool }
+ *                    "shards_b": int, "results_match": bool },
+ *   "report_digest": "0x..."
  * }
+ *
+ * report_digest is the FNV-64 fleetReportDigest() of the largest
+ * fleet's sharded report: the simd-determinism CI job diffs it
+ * between forced-scalar and auto-dispatch kernel backends.
  */
 
 #include <cstdio>
@@ -35,6 +40,7 @@
 
 #include "apps/qft.hpp"
 #include "core/fleet.hpp"
+#include "linalg/mat4_kernels.hpp"
 #include "util/logging.hpp"
 
 using namespace qbasis;
@@ -122,7 +128,7 @@ void
 writeJson(const char *path, bool quick, bool smoke, int threads,
           const std::vector<FleetBenchResult> &results,
           int det_devices, int det_shards_a, int det_shards_b,
-          bool results_match)
+          bool results_match, uint64_t report_digest)
 {
     FILE *f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -165,9 +171,10 @@ writeJson(const char *path, bool quick, bool smoke, int threads,
                  "  },\n  \"determinism\": {\n"
                  "    \"devices\": %d,\n    \"shards_a\": %d,\n"
                  "    \"shards_b\": %d,\n    \"results_match\": %s\n"
-                 "  }\n}\n",
+                 "  },\n  \"report_digest\": \"0x%016llx\"\n}\n",
                  det_devices, det_shards_a, det_shards_b,
-                 results_match ? "true" : "false");
+                 results_match ? "true" : "false",
+                 static_cast<unsigned long long>(report_digest));
     std::fclose(f);
     std::printf("wrote %s\n", path);
 }
@@ -201,6 +208,7 @@ main(int argc, char **argv)
                 "Weyl-class cache ===\n");
     std::printf("mode: %s\n",
                 smoke ? "smoke" : quick ? "quick" : "full");
+    std::printf("mat4 backend: %s\n", mat4BackendBanner().c_str());
 
     // Replicated pairs make every >= 2-device fleet dedupe-eligible;
     // the tiny (smoke/quick) config calibrates one edge per device.
@@ -252,9 +260,13 @@ main(int argc, char **argv)
     std::printf("determinism (%d devices, %d vs 1 shard): %s\n",
                 det_devices, det_devices,
                 results_match ? "bit-identical" : "MISMATCH");
+    const uint64_t report_digest = fleetReportDigest(sharded_report);
+    std::printf("report digest: 0x%016llx\n",
+                static_cast<unsigned long long>(report_digest));
 
     writeJson("BENCH_fleet.json", quick, smoke, threads, results,
-              det_devices, det_devices, 1, results_match);
+              det_devices, det_devices, 1, results_match,
+              report_digest);
 
     bool ok = results_match;
     for (const FleetBenchResult &r : results) {

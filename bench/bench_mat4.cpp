@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Mat4 kernel microbenchmark: times the dispatched SIMD backend
+ * against the scalar reference on the exact kernels the synthesis
+ * objective hits per restart (multiply, fused kron products,
+ * adjoint-multiply, adjoint-trace reduction, fused layer steps) and
+ * verifies their bit-identity, emitting BENCH_mat4.json for the CI
+ * bench gate (scripts/check_bench.py).
+ *
+ * Usage: bench_mat4 [--quick|--smoke|--backend]
+ *
+ *   --quick    CI-sized run (fewer repetitions)
+ *   --smoke    tiny equality-only pass (sanitize jobs; no timing
+ *              floors, still writes the JSON with match flags)
+ *   --backend  print the dispatch banner and exit
+ *
+ * JSON schema (BENCH_mat4.json):
+ * {
+ *   "quick": bool, "smoke": bool,
+ *   "backend": "scalar"|"avx2",
+ *   "simd_available": bool, "host_avx2": bool, "host_fma": bool,
+ *   "kernels": { "<name>": {
+ *       "scalar_ns": double, "simd_ns": double,
+ *       "speedup": double, "match": bool } },
+ *   "speedup_geomean": double,
+ *   "kernels_match": bool
+ * }
+ *
+ * When the SIMD backend is unavailable (non-AVX2 host or
+ * QBASIS_SIMD=OFF build), the timing loop runs scalar-only, speedups
+ * report as 1.0, and the bench gate skips the speedup floors
+ * (scripts/check_bench.py keys off "simd_available").
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "linalg/mat4.hpp"
+#include "linalg/mat4_kernels.hpp"
+#include "linalg/random.hpp"
+#include "util/rng.hpp"
+
+using namespace qbasis;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Shared operand set: the same matrices feed both backends. */
+struct Workset
+{
+    std::vector<Mat4> a, b;
+    std::vector<Mat2> u1, u0;
+    std::vector<Mat4> out, out2;
+    std::vector<Mat2> s;
+    std::vector<Complex> tr;
+
+    explicit Workset(size_t n) : out(n), out2(n), s(n), tr(n)
+    {
+        Rng rng(0xBE9C4ull);
+        a.reserve(n);
+        b.reserve(n);
+        u1.reserve(n);
+        u0.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            a.push_back(randomUnitary4(rng));
+            b.push_back(randomUnitary4(rng));
+            const Mat4 l = randomLocal4(rng);
+            Mat2 m1, m0;
+            for (int r = 0; r < 2; ++r) {
+                for (int c = 0; c < 2; ++c) {
+                    m1(r, c) = l(r, c);
+                    m0(r, c) = l(2 + r, 2 + c);
+                }
+            }
+            u1.push_back(m1);
+            u0.push_back(m0);
+        }
+    }
+};
+
+using KernelPass = void (*)(const Mat4KernelTable &, Workset &);
+
+struct KernelSpec
+{
+    const char *name;
+    KernelPass pass;
+};
+
+void
+passMatmul(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.matmul(w.a[i].data(), w.b[i].data(), w.out[i].data());
+}
+
+void
+passAdjointMul(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.adjoint_mul(w.a[i].data(), w.b[i].data(),
+                      w.out[i].data());
+}
+
+void
+passKronMulLeft(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.kron_mul_left(w.u1[i].data(), w.u0[i].data(),
+                        w.a[i].data(), w.out[i].data());
+}
+
+void
+passMulKronRight(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.mul_kron_right(w.a[i].data(), w.u1[i].data(),
+                         w.u0[i].data(), w.out[i].data());
+}
+
+void
+passAdjointTraceDot(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        w.tr[i] = t.adjoint_trace_dot(w.a[i].data(),
+                                      w.b[i].data());
+}
+
+void
+passKron2(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.kron2(w.u1[i].data(), w.u0[i].data(), w.out[i].data());
+}
+
+void
+passKronTraceQ1(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.kron_trace_q1(w.a[i].data(), w.u0[i].data(),
+                        w.s[i].data());
+}
+
+void
+passKronTraceQ0(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.kron_trace_q0(w.a[i].data(), w.u1[i].data(),
+                        w.s[i].data());
+}
+
+void
+passLayerFwd(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.layer_fwd(w.a[i].data(), w.u1[i].data(), w.u0[i].data(),
+                    w.b[i].data(), w.out[i].data(),
+                    w.out2[i].data());
+}
+
+void
+passLayerBwd(const Mat4KernelTable &t, Workset &w)
+{
+    for (size_t i = 0; i < w.a.size(); ++i)
+        t.layer_bwd(w.a[i].data(), w.u1[i].data(), w.u0[i].data(),
+                    w.b[i].data(), w.out[i].data());
+}
+
+// Every entry point of the dispatch table: the --smoke equality
+// pass (and the CI mat4 gate) must cover the full kernel surface.
+const KernelSpec kKernels[] = {
+    {"matmul", passMatmul},
+    {"adjoint_mul", passAdjointMul},
+    {"kron2", passKron2},
+    {"kron_mul_left", passKronMulLeft},
+    {"mul_kron_right", passMulKronRight},
+    {"adjoint_trace_dot", passAdjointTraceDot},
+    {"kron_trace_q1", passKronTraceQ1},
+    {"kron_trace_q0", passKronTraceQ0},
+    {"layer_fwd", passLayerFwd},
+    {"layer_bwd", passLayerBwd},
+};
+
+/** Best-of-`rounds` per-call time in nanoseconds. */
+double
+timeKernel(const Mat4KernelTable &t, const KernelSpec &spec,
+           Workset &w, int reps, int rounds)
+{
+    double best_ms = 1e300;
+    for (int round = 0; round < rounds; ++round) {
+        const double t0 = nowMs();
+        for (int r = 0; r < reps; ++r)
+            spec.pass(t, w);
+        const double elapsed = nowMs() - t0;
+        if (elapsed < best_ms)
+            best_ms = elapsed;
+    }
+    const double calls =
+        static_cast<double>(reps) * static_cast<double>(w.a.size());
+    return best_ms * 1e6 / calls;
+}
+
+/** Bitwise comparison of the outputs both backends produced. */
+bool
+outputsMatch(const KernelSpec &spec, const Mat4KernelTable &s,
+             const Mat4KernelTable &v, Workset &ws, Workset &wv)
+{
+    spec.pass(s, ws);
+    spec.pass(v, wv);
+    for (size_t i = 0; i < ws.out.size(); ++i) {
+        if (std::memcmp(ws.out[i].data(), wv.out[i].data(),
+                        16 * sizeof(Complex)) != 0
+            || std::memcmp(ws.out2[i].data(), wv.out2[i].data(),
+                           16 * sizeof(Complex)) != 0
+            || std::memcmp(ws.s[i].data(), wv.s[i].data(),
+                           4 * sizeof(Complex)) != 0
+            || std::memcmp(&ws.tr[i], &wv.tr[i], sizeof(Complex))
+                   != 0)
+            return false;
+    }
+    return true;
+}
+
+struct KernelResult
+{
+    std::string name;
+    double scalar_ns = 0.0;
+    double simd_ns = 0.0;
+    bool match = true;
+
+    double
+    speedup() const
+    {
+        return simd_ns > 0.0 ? scalar_ns / simd_ns : 1.0;
+    }
+};
+
+void
+writeJson(const char *path, bool quick, bool smoke, bool simd,
+          const std::vector<KernelResult> &results, double geomean,
+          bool all_match)
+{
+    FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "bench_mat4: cannot write %s\n", path);
+        return;
+    }
+    std::fprintf(
+        f,
+        "{\n  \"quick\": %s,\n  \"smoke\": %s,\n"
+        "  \"backend\": \"%s\",\n  \"simd_available\": %s,\n"
+        "  \"host_avx2\": %s,\n  \"host_fma\": %s,\n"
+        "  \"kernels\": {\n",
+        quick ? "true" : "false", smoke ? "true" : "false",
+        mat4BackendName(activeMat4Backend()),
+        simd ? "true" : "false",
+        mat4HostHasAvx2() ? "true" : "false",
+        mat4HostHasFma() ? "true" : "false");
+    for (size_t i = 0; i < results.size(); ++i) {
+        const KernelResult &r = results[i];
+        std::fprintf(f,
+                     "    \"%s\": {\n"
+                     "      \"scalar_ns\": %.2f,\n"
+                     "      \"simd_ns\": %.2f,\n"
+                     "      \"speedup\": %.3f,\n"
+                     "      \"match\": %s\n"
+                     "    }%s\n",
+                     r.name.c_str(), r.scalar_ns, r.simd_ns,
+                     r.speedup(), r.match ? "true" : "false",
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  },\n  \"speedup_geomean\": %.3f,\n"
+                 "  \"kernels_match\": %s\n}\n",
+                 geomean, all_match ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--backend") == 0) {
+            std::printf("mat4 backend: %s\n",
+                        mat4BackendBanner().c_str());
+            return 0;
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: bench_mat4 [--quick|--smoke|--backend]\n");
+            return 2;
+        }
+    }
+
+    std::printf("=== bench_mat4: SIMD Mat4 kernel layer ===\n");
+    std::printf("mat4 backend: %s\n", mat4BackendBanner().c_str());
+    std::printf("mode: %s\n",
+                smoke ? "smoke" : quick ? "quick" : "full");
+
+    const Mat4KernelTable *scalar =
+        mat4BackendTable(Mat4Backend::Scalar);
+    const Mat4KernelTable *simd =
+        mat4BackendTable(Mat4Backend::Avx2);
+    const bool simd_available = simd != nullptr;
+
+    const size_t n = smoke ? 64 : 1024;
+    const int reps = smoke ? 2 : quick ? 200 : 1000;
+    const int rounds = smoke ? 1 : 3;
+    Workset ws(n), wv(n);
+
+    std::vector<KernelResult> results;
+    bool all_match = true;
+    double log_sum = 0.0;
+    for (const KernelSpec &spec : kKernels) {
+        KernelResult r;
+        r.name = spec.name;
+        if (simd_available)
+            r.match = outputsMatch(spec, *scalar, *simd, ws, wv);
+        all_match = all_match && r.match;
+        if (!smoke) {
+            r.scalar_ns = timeKernel(*scalar, spec, ws, reps, rounds);
+            r.simd_ns = simd_available
+                            ? timeKernel(*simd, spec, wv, reps,
+                                         rounds)
+                            : r.scalar_ns;
+        }
+        log_sum += std::log(r.speedup() > 0.0 ? r.speedup() : 1.0);
+        results.push_back(std::move(r));
+    }
+    const double geomean = std::exp(
+        log_sum / static_cast<double>(std::size(kKernels)));
+
+    std::printf("\n%-18s %11s %11s %9s %6s\n", "kernel",
+                "scalar (ns)", "simd (ns)", "speedup", "match");
+    for (const KernelResult &r : results) {
+        std::printf("%-18s %11.1f %11.1f %8.2fx %6s\n",
+                    r.name.c_str(), r.scalar_ns, r.simd_ns,
+                    r.speedup(), r.match ? "yes" : "NO");
+    }
+    if (!smoke)
+        std::printf("geomean speedup: %.2fx\n", geomean);
+
+    writeJson("BENCH_mat4.json", quick, smoke, simd_available,
+              results, geomean, all_match);
+
+    if (!all_match) {
+        std::printf("FAIL: scalar and SIMD backends disagree\n");
+        return 1;
+    }
+    return 0;
+}

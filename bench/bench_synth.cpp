@@ -23,12 +23,19 @@
  * JSON schema (BENCH_synth.json):
  * {
  *   "quick": bool, "threads": int,
+ *   "mat4_backend": "scalar"|"avx2",
  *   "workloads": { "<name>": {
  *       "requests": int, "weyl_classes": int,
  *       "serial_seed_path_ms": double, "engine_ms": double,
  *       "speedup": double, "cache_hits": int, "cache_misses": int,
- *       "cache_hit_rate": double, "results_match": bool } }
+ *       "cache_hit_rate": double, "results_match": bool,
+ *       "report_digest": "0x..." } }
  * }
+ *
+ * report_digest is an FNV-64 over the engine path's decomposition
+ * bytes (layer counts, local gates, phases, infidelities): the
+ * simd-determinism CI job runs this bench under forced-scalar and
+ * auto-dispatch builds and diffs the digests for bit-identity.
  */
 
 #include <chrono>
@@ -41,12 +48,14 @@
 
 #include "apps/qft.hpp"
 #include "circuit/coupling.hpp"
+#include "linalg/mat4_kernels.hpp"
 #include "synth/depth_cache.hpp"
 #include "synth/engine.hpp"
 #include "transpile/basis_translate.hpp"
 #include "transpile/layout.hpp"
 #include "transpile/merge_1q.hpp"
 #include "transpile/routing.hpp"
+#include "util/fnv.hpp"
 #include "util/logging.hpp"
 #include "weyl/gates.hpp"
 
@@ -85,6 +94,36 @@ serialSeedPath(const std::vector<SynthRequest> &requests,
     return out;
 }
 
+/**
+ * FNV-64 over the decomposition bytes the determinism contract
+ * covers (layer counts, local 1Q gates, global phases,
+ * infidelities) -- bit-identical across kernel backends by the
+ * contract in linalg/mat4_kernels.hpp; timings are excluded.
+ */
+uint64_t
+decompositionsDigest(const std::vector<TwoQubitDecomposition> &decs)
+{
+    Fnv64 fnv;
+    const auto mix_complex = [&fnv](const Complex &z) {
+        fnv.mixDouble(z.real());
+        fnv.mixDouble(z.imag());
+    };
+    for (const TwoQubitDecomposition &d : decs) {
+        fnv.mix(static_cast<uint64_t>(d.layers()));
+        fnv.mixDouble(d.infidelity);
+        mix_complex(d.phase);
+        for (const LocalPair &l : d.locals) {
+            for (int i = 0; i < 2; ++i) {
+                for (int j = 0; j < 2; ++j) {
+                    mix_complex(l.q1(i, j));
+                    mix_complex(l.q0(i, j));
+                }
+            }
+        }
+    }
+    return fnv.h;
+}
+
 struct WorkloadResult
 {
     std::string name;
@@ -94,6 +133,7 @@ struct WorkloadResult
     double engine_ms = 0.0;
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    uint64_t report_digest = 0;
     bool results_match = true;
 
     double
@@ -141,6 +181,7 @@ runWorkload(const std::string &name,
     r.weyl_classes = cache.size();
     r.cache_hits = cache.hits();
     r.cache_misses = cache.misses();
+    r.report_digest = decompositionsDigest(fast);
 
     // Both paths must realize every target (the decompositions may
     // differ in depth-degenerate cases, but each must reconstruct
@@ -213,8 +254,9 @@ writeJson(const char *path, bool quick, int threads,
         return;
     }
     std::fprintf(f, "{\n  \"quick\": %s,\n  \"threads\": %d,\n"
+                 "  \"mat4_backend\": \"%s\",\n"
                  "  \"workloads\": {\n", quick ? "true" : "false",
-                 threads);
+                 threads, mat4BackendName(activeMat4Backend()));
     for (size_t i = 0; i < results.size(); ++i) {
         const WorkloadResult &r = results[i];
         std::fprintf(
@@ -228,13 +270,15 @@ writeJson(const char *path, bool quick, int threads,
             "      \"cache_hits\": %llu,\n"
             "      \"cache_misses\": %llu,\n"
             "      \"cache_hit_rate\": %.4f,\n"
-            "      \"results_match\": %s\n"
+            "      \"results_match\": %s,\n"
+            "      \"report_digest\": \"0x%016llx\"\n"
             "    }%s\n",
             r.name.c_str(), r.requests, r.weyl_classes, r.serial_ms,
             r.engine_ms, r.speedup(),
             static_cast<unsigned long long>(r.cache_hits),
             static_cast<unsigned long long>(r.cache_misses),
             r.hitRate(), r.results_match ? "true" : "false",
+            static_cast<unsigned long long>(r.report_digest),
             i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  }\n}\n");
@@ -268,6 +312,7 @@ main(int argc, char **argv)
                 "multistart ===\n");
     std::printf("threads: %d, mode: %s\n", engine.threadCount(),
                 quick ? "quick" : "full");
+    std::printf("mat4 backend: %s\n", mat4BackendBanner().c_str());
 
     const SynthOptions opts;
     std::vector<WorkloadResult> results;
@@ -301,6 +346,10 @@ main(int argc, char **argv)
                     r.serial_ms, r.engine_ms, r.speedup(),
                     100.0 * r.hitRate(),
                     r.results_match ? "yes" : "NO");
+    }
+    for (const WorkloadResult &r : results) {
+        std::printf("report digest [%s]: 0x%016llx\n", r.name.c_str(),
+                    static_cast<unsigned long long>(r.report_digest));
     }
 
     writeJson("BENCH_synth.json", quick, engine.threadCount(),

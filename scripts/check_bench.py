@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Reads BENCH_synth.json, BENCH_fleet.json, BENCH_recalib.json, and
-BENCH_persist.json (produced by the corresponding --quick bench runs)
-and gates on the floors committed in bench/baselines.json:
+Reads BENCH_synth.json, BENCH_fleet.json, BENCH_recalib.json,
+BENCH_persist.json, and BENCH_mat4.json (produced by the
+corresponding --quick bench runs) and gates on the floors committed
+in bench/baselines.json:
 
   * every workload's engine/serial agreement (results_match),
   * fleet bit-determinism at 1 vs N shards,
@@ -13,7 +14,10 @@ and gates on the floors committed in bench/baselines.json:
     speedup, overlap ratio, and a zero-compile-path-stall ceiling,
   * persistence: warm-start speedup and hit rate, warm/cold
     bit-identical reports, corrupt-snapshot rejection, and the
-    retirement sweep shrinking the snapshot.
+    retirement sweep shrinking the snapshot,
+  * mat4 kernels: scalar-vs-SIMD bit-identity on every kernel, and
+    speedup floors (per kernel and geomean) that apply only when the
+    SIMD backend is available on the runner (simd_available).
 
 Every committed floor is evaluated and printed as one row of a diff
 table (key, observed, requirement, status), so a failing run shows
@@ -22,7 +26,7 @@ nonzero when any row fails. Pure stdlib.
 
 Usage: scripts/check_bench.py [--synth PATH] [--fleet PATH]
                               [--recalib PATH] [--persist PATH]
-                              [--baselines PATH]
+                              [--mat4 PATH] [--baselines PATH]
 """
 
 import argparse
@@ -94,6 +98,13 @@ class Gate:
 def check_synth(bench, base, gate):
     floors = base.get("synth", {})
     workloads = bench.get("workloads", {})
+    if floors.get("require_backend_reported"):
+        gate.check(
+            "synth.mat4_backend",
+            bench.get("mat4_backend", ""),
+            "in {scalar, avx2}",
+            bench.get("mat4_backend") in ("scalar", "avx2"),
+        )
     # Every workload with a committed floor must be present: a
     # renamed/dropped workload must not read as green.
     expected = set(floors.get("min_speedup", {})) | set(
@@ -105,6 +116,13 @@ def check_synth(bench, base, gate):
         if floors.get("require_results_match"):
             gate.require(
                 f"synth[{name}].results_match", wl.get("results_match")
+            )
+        if floors.get("require_report_digest"):
+            gate.check(
+                f"synth[{name}].report_digest",
+                wl.get("report_digest", "(absent)"),
+                "present",
+                bool(wl.get("report_digest")),
             )
         floor = floors.get("min_speedup", {}).get(name)
         if floor is not None:
@@ -241,6 +259,47 @@ def check_persist(bench, base, gate):
         )
 
 
+def check_mat4(bench, base, gate):
+    floors = base.get("mat4", {})
+    kernels = bench.get("kernels", {})
+    if floors.get("require_kernels_match"):
+        gate.check(
+            "mat4.kernels_match",
+            bool(bench.get("kernels_match")),
+            "scalar and SIMD backends bit-identical",
+            bench.get("kernels_match"),
+        )
+        for name, k in sorted(kernels.items()):
+            gate.require(f"mat4[{name}].match", k.get("match"))
+    # Speedup floors only bind when the SIMD backend actually ran on
+    # this host (scalar-only builds/runners report simd_available
+    # false and trivially-1.0 speedups).
+    if not bench.get("simd_available"):
+        gate.check(
+            "mat4.simd_available",
+            False,
+            "speedup floors skipped (scalar-only host/build)",
+            True,
+        )
+        return
+    expected = set(floors.get("min_kernel_speedup", {}))
+    for name in sorted(expected - set(kernels)):
+        gate.missing(f"mat4[{name}]", "kernel absent from output")
+    for name, k in sorted(kernels.items()):
+        floor = floors.get("min_kernel_speedup", {}).get(name)
+        if floor is not None:
+            gate.floor(
+                f"mat4[{name}].speedup", k.get("speedup", 0.0), floor
+            )
+    floor = floors.get("min_speedup_geomean")
+    if floor is not None:
+        gate.floor(
+            "mat4.speedup_geomean",
+            bench.get("speedup_geomean", 0.0),
+            floor,
+        )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--synth", default=REPO / "BENCH_synth.json")
@@ -251,6 +310,7 @@ def main():
     parser.add_argument(
         "--persist", default=REPO / "BENCH_persist.json"
     )
+    parser.add_argument("--mat4", default=REPO / "BENCH_mat4.json")
     parser.add_argument(
         "--baselines", default=REPO / "bench" / "baselines.json"
     )
@@ -263,6 +323,7 @@ def main():
         ("fleet", args.fleet, check_fleet),
         ("recalib", args.recalib, check_recalib),
         ("persist", args.persist, check_persist),
+        ("mat4", args.mat4, check_mat4),
     ):
         try:
             check(load(path), base, gate)

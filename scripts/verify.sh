@@ -5,10 +5,12 @@
 #   scripts/verify.sh [--quick] [build-dir]
 #
 #   --quick    skip the bench pass (bench_synth + bench_fleet +
-#              bench_recalib + bench_persist + scripts/check_bench.py);
-#              the fleet, recalib, and persist smokes still run so
-#              every matrix job exercises the sharded driver, the
-#              async retune pipeline, and the snapshot round trip.
+#              bench_recalib + bench_persist + bench_mat4 +
+#              scripts/check_bench.py); the mat4, fleet, recalib,
+#              and persist smokes still run so every matrix job
+#              exercises the SIMD kernel bit-identity check, the
+#              sharded driver, the async retune pipeline, and the
+#              snapshot round trip.
 #
 # Environment:
 #   CMAKE_BUILD_TYPE   build configuration (default Release)
@@ -37,7 +39,16 @@ echo "=== verify: ${CXX:-c++} ($(${CXX:-c++} --version | head -n1)), " \
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
       ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# Dispatched Mat4 kernel backend of this build/host (scalar or
+# avx2, plus the probed host ISA).
+"$BUILD_DIR/bench_mat4" --backend
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+
+# Mat4 kernel smoke: scalar-vs-SIMD bit-identity on every dispatched
+# kernel is the exit code.
+"$BUILD_DIR/bench_mat4" --smoke
 
 # Fleet smoke: 2-device shard run with cross-device dedupe and
 # bit-determinism asserts baked into the binary's exit code.
@@ -57,6 +68,7 @@ if [ "$QUICK" = 0 ]; then
   "$BUILD_DIR/bench_fleet" --quick
   "$BUILD_DIR/bench_recalib" --quick
   "$BUILD_DIR/bench_persist" --quick
+  "$BUILD_DIR/bench_mat4" --quick
   python3 scripts/check_bench.py
 fi
 echo "verify: OK"

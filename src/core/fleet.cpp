@@ -6,6 +6,7 @@
 #include <exception>
 #include <thread>
 
+#include "util/fnv.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -129,29 +130,18 @@ compilePassDigest(const FleetCompilePass &pass)
     // Mixes exactly the fields compilePassesBitIdentical (via
     // circuitResultsBitIdentical, above) compares; extend both
     // together when CompiledCircuitResult grows a scored field.
-    uint64_t h = 1469598103934665603ull;
-    const auto mix = [&h](uint64_t v) {
-        for (int byte = 0; byte < 8; ++byte) {
-            h ^= (v >> (8 * byte)) & 0xffull;
-            h *= 1099511628211ull;
-        }
-    };
-    const auto mix_double = [&mix](double v) {
-        uint64_t bits;
-        std::memcpy(&bits, &v, sizeof(bits));
-        mix(bits);
-    };
+    Fnv64 fnv;
     for (const auto &device : pass.results) {
         for (const VersionedCompileResult &r : device) {
-            mix(r.basis_version);
-            mix_double(r.result.fidelity);
-            mix_double(r.result.makespan_ns);
-            mix(static_cast<uint64_t>(r.result.swaps_inserted));
-            mix(static_cast<uint64_t>(r.result.two_qubit_gates));
-            mix(static_cast<uint64_t>(r.result.depth));
+            fnv.mix(r.basis_version);
+            fnv.mixDouble(r.result.fidelity);
+            fnv.mixDouble(r.result.makespan_ns);
+            fnv.mix(static_cast<uint64_t>(r.result.swaps_inserted));
+            fnv.mix(static_cast<uint64_t>(r.result.two_qubit_gates));
+            fnv.mix(static_cast<uint64_t>(r.result.depth));
         }
     }
-    return h;
+    return fnv.h;
 }
 
 bool
@@ -192,6 +182,54 @@ fleetReportsBitIdentical(const FleetReport &a, const FleetReport &b)
         }
     }
     return true;
+}
+
+uint64_t
+fleetReportDigest(const FleetReport &report)
+{
+    // Mixes exactly the fields fleetReportsBitIdentical (above)
+    // compares; extend both together.
+    Fnv64 fnv;
+    const auto mix_mat4 = [&fnv](const Mat4 &m) {
+        for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+                fnv.mixDouble(m(i, j).real());
+                fnv.mixDouble(m(i, j).imag());
+            }
+        }
+    };
+    for (const FleetDeviceReport &d : report.devices) {
+        fnv.mix(static_cast<uint64_t>(d.device_id));
+        fnv.mixString(d.label);
+        for (const EdgeBasis &b : d.set.bases) {
+            fnv.mixDouble(b.duration_ns);
+            mix_mat4(b.gate);
+        }
+        for (const EdgeCalibration &e : d.set.edges) {
+            fnv.mixDouble(e.omega_d);
+            fnv.mixDouble(e.gate.duration_ns);
+        }
+        fnv.mixString(d.summary.label);
+        fnv.mixDouble(d.summary.avg_basis_ns);
+        fnv.mixDouble(d.summary.avg_swap_ns);
+        fnv.mixDouble(d.summary.avg_cnot_ns);
+        fnv.mixDouble(d.summary.avg_basis_fidelity);
+        fnv.mixDouble(d.summary.avg_swap_fidelity);
+        fnv.mixDouble(d.summary.avg_cnot_fidelity);
+        fnv.mixDouble(d.summary.avg_swap_layers);
+        fnv.mixDouble(d.summary.avg_cnot_layers);
+        fnv.mixDouble(d.summary.one_q_share_swap);
+        fnv.mixDouble(d.summary.max_decomposition_infidelity);
+        for (const FleetCircuitResult &c : d.circuits) {
+            fnv.mixString(c.name);
+            fnv.mixDouble(c.result.fidelity);
+            fnv.mixDouble(c.result.makespan_ns);
+            fnv.mix(static_cast<uint64_t>(c.result.swaps_inserted));
+            fnv.mix(static_cast<uint64_t>(c.result.two_qubit_gates));
+            fnv.mix(static_cast<uint64_t>(c.result.depth));
+        }
+    }
+    return fnv.h;
 }
 
 FleetDriver::FleetDriver(FleetOptions opts)

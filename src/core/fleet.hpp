@@ -121,6 +121,15 @@ struct FleetReport
 bool fleetReportsBitIdentical(const FleetReport &a,
                               const FleetReport &b);
 
+/**
+ * FNV-64 digest over exactly the fields fleetReportsBitIdentical
+ * compares (defined beside it so the two can never drift apart).
+ * The simd-determinism CI job runs the fleet smoke under
+ * forced-scalar and auto-dispatch kernel backends and diffs this
+ * digest for bit-identity.
+ */
+uint64_t fleetReportDigest(const FleetReport &report);
+
 // ---------------------------------------------------------------------------
 // Cycle serving: live devices with versioned calibrations, async
 // per-edge recalibration overlapped with circuit compilation.

@@ -34,6 +34,10 @@ class Mat2
     /** Element access (row, col), const. */
     const Complex &operator()(int r, int c) const { return a_[2 * r + c]; }
 
+    /** Row-major interleaved storage (the kernel-table layout). */
+    Complex *data() { return a_.data(); }
+    const Complex *data() const { return a_.data(); }
+
     /** 2x2 identity. */
     static Mat2 identity()
     {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/mat4_kernels.hpp"
 #include "util/logging.hpp"
 
 namespace qbasis {
@@ -27,11 +28,7 @@ Mat4
 Mat4::kron(const Mat2 &a, const Mat2 &b)
 {
     Mat4 r;
-    for (int i = 0; i < 2; ++i)
-        for (int j = 0; j < 2; ++j)
-            for (int k = 0; k < 2; ++k)
-                for (int l = 0; l < 2; ++l)
-                    r(2 * i + k, 2 * j + l) = a(i, j) * b(k, l);
+    mat4Kernels().kron2(a.data(), b.data(), r.data());
     return r;
 }
 
@@ -67,16 +64,10 @@ Mat4::operator-(const Mat4 &o) const
 Mat4
 Mat4::operator*(const Mat4 &o) const
 {
+    // Dispatched dense kernel; no zero-skip so every backend walks
+    // the identical accumulation sequence.
     Mat4 r;
-    for (int i = 0; i < 4; ++i) {
-        for (int k = 0; k < 4; ++k) {
-            const Complex aik = a_[4 * i + k];
-            if (aik == Complex{})
-                continue;
-            for (int j = 0; j < 4; ++j)
-                r.a_[4 * i + j] += aik * o.a_[4 * k + j];
-        }
-    }
+    mat4Kernels().matmul(data(), o.data(), r.data());
     return r;
 }
 
@@ -197,7 +188,9 @@ Mat4::maxAbsDiff(const Mat4 &o) const
 bool
 Mat4::isUnitary(double tol) const
 {
-    return (dagger() * (*this)).maxAbsDiff(identity()) <= tol;
+    Mat4 prod;
+    adjointMulInto(*this, *this, prod);
+    return prod.maxAbsDiff(identity()) <= tol;
 }
 
 Mat4
@@ -233,109 +226,71 @@ Mat4::str(int precision) const
 void
 matmulInto(const Mat4 &a, const Mat4 &b, Mat4 &out)
 {
-    for (int i = 0; i < 4; ++i) {
-        Complex r0{}, r1{}, r2{}, r3{};
-        for (int k = 0; k < 4; ++k) {
-            const Complex aik = a(i, k);
-            r0 += aik * b(k, 0);
-            r1 += aik * b(k, 1);
-            r2 += aik * b(k, 2);
-            r3 += aik * b(k, 3);
-        }
-        out(i, 0) = r0;
-        out(i, 1) = r1;
-        out(i, 2) = r2;
-        out(i, 3) = r3;
-    }
+    mat4Kernels().matmul(a.data(), b.data(), out.data());
+}
+
+void
+adjointMulInto(const Mat4 &a, const Mat4 &b, Mat4 &out)
+{
+    mat4Kernels().adjoint_mul(a.data(), b.data(), out.data());
+}
+
+Complex
+adjointTraceDot(const Mat4 &a, const Mat4 &b)
+{
+    return mat4Kernels().adjoint_trace_dot(a.data(), b.data());
 }
 
 void
 kronMulLeft(const Mat2 &a1, const Mat2 &a0, const Mat4 &m, Mat4 &out)
 {
-    // out(2i+k, c) = sum_j a1(i, j) * (sum_l a0(k, l) m(2j+l, c)).
-    // p[j][k][c] holds the inner contraction over the second qubit.
-    Complex p[2][2][4];
-    for (int j = 0; j < 2; ++j) {
-        for (int k = 0; k < 2; ++k) {
-            const Complex a0k0 = a0(k, 0);
-            const Complex a0k1 = a0(k, 1);
-            for (int c = 0; c < 4; ++c)
-                p[j][k][c] =
-                    a0k0 * m(2 * j, c) + a0k1 * m(2 * j + 1, c);
-        }
-    }
-    for (int i = 0; i < 2; ++i) {
-        const Complex a1i0 = a1(i, 0);
-        const Complex a1i1 = a1(i, 1);
-        for (int k = 0; k < 2; ++k) {
-            for (int c = 0; c < 4; ++c) {
-                out(2 * i + k, c) =
-                    a1i0 * p[0][k][c] + a1i1 * p[1][k][c];
-            }
-        }
-    }
+    mat4Kernels().kron_mul_left(a1.data(), a0.data(), m.data(),
+                                out.data());
 }
 
 void
 mulKronRight(const Mat4 &m, const Mat2 &a1, const Mat2 &a0, Mat4 &out)
 {
-    // out(r, 2j+l) = sum_i a1(i, j) * (sum_k m(r, 2i+k) a0(k, l)).
-    // q[r][i][l] holds the inner contraction over the second qubit.
-    Complex q[4][2][2];
-    for (int r = 0; r < 4; ++r) {
-        for (int i = 0; i < 2; ++i) {
-            const Complex m0 = m(r, 2 * i);
-            const Complex m1 = m(r, 2 * i + 1);
-            for (int l = 0; l < 2; ++l)
-                q[r][i][l] = m0 * a0(0, l) + m1 * a0(1, l);
-        }
-    }
-    for (int r = 0; r < 4; ++r) {
-        for (int j = 0; j < 2; ++j) {
-            for (int l = 0; l < 2; ++l) {
-                out(r, 2 * j + l) = a1(0, j) * q[r][0][l]
-                                    + a1(1, j) * q[r][1][l];
-            }
-        }
-    }
+    mat4Kernels().mul_kron_right(m.data(), a1.data(), a0.data(),
+                                 out.data());
 }
 
 void
 kronTracePartialQ1(const Mat4 &g, const Mat2 &x0, Mat2 &s)
 {
-    for (int r1 = 0; r1 < 2; ++r1) {
-        for (int c1 = 0; c1 < 2; ++c1) {
-            Complex acc{};
-            for (int r0 = 0; r0 < 2; ++r0)
-                for (int c0 = 0; c0 < 2; ++c0)
-                    acc += g(2 * c1 + c0, 2 * r1 + r0) * x0(r0, c0);
-            s(r1, c1) = acc;
-        }
-    }
+    mat4Kernels().kron_trace_q1(g.data(), x0.data(), s.data());
 }
 
 void
 kronTracePartialQ0(const Mat4 &g, const Mat2 &x1, Mat2 &s)
 {
-    for (int r0 = 0; r0 < 2; ++r0) {
-        for (int c0 = 0; c0 < 2; ++c0) {
-            Complex acc{};
-            for (int r1 = 0; r1 < 2; ++r1)
-                for (int c1 = 0; c1 < 2; ++c1)
-                    acc += g(2 * c1 + c0, 2 * r1 + r0) * x1(r1, c1);
-            s(r0, c0) = acc;
-        }
-    }
+    mat4Kernels().kron_trace_q0(g.data(), x1.data(), s.data());
+}
+
+void
+fusedLayerForward(const Mat4 &layer, const Mat2 &u1, const Mat2 &u0,
+                  const Mat4 &r_prev, Mat4 &bright, Mat4 &right)
+{
+    mat4Kernels().layer_fwd(layer.data(), u1.data(), u0.data(),
+                            r_prev.data(), bright.data(),
+                            right.data());
+}
+
+void
+fusedLayerBackward(const Mat4 &left, const Mat2 &u1, const Mat2 &u0,
+                   const Mat4 *layer, Mat4 &out)
+{
+    mat4Kernels().layer_bwd(left.data(), u1.data(), u0.data(),
+                            layer != nullptr ? layer->data()
+                                             : nullptr,
+                            out.data());
 }
 
 double
 traceInfidelity(const Mat4 &a, const Mat4 &b)
 {
-    Complex t{};
     // Tr(a^dag b) without forming the product matrix.
-    for (int i = 0; i < 4; ++i)
-        for (int j = 0; j < 4; ++j)
-            t += std::conj(a(j, i)) * b(j, i);
+    const Complex t = adjointTraceDot(a, b);
     const double overlap = std::norm(t) / 16.0;
     return 1.0 - overlap;
 }

@@ -6,8 +6,10 @@
  * Fixed-size 4x4 complex matrix for two-qubit operators.
  *
  * Mat4 is the workhorse of the Weyl-chamber, monodromy, and synthesis
- * code. It is a stack value type; the multiply is fully unrolled by
- * the compiler at -O2.
+ * code. It is a stack value type. Multiplies, fused Kronecker
+ * products, and the adjoint-trace reductions route through the
+ * runtime-dispatched kernel backends in linalg/mat4_kernels.hpp
+ * (scalar reference or AVX2), which are bit-identical by contract.
  */
 
 #include <array>
@@ -30,6 +32,10 @@ class Mat4
 
     /** Element access (row, col), const. */
     const Complex &operator()(int r, int c) const { return a_[4 * r + c]; }
+
+    /** Row-major interleaved storage (the kernel-table layout). */
+    Complex *data() { return a_.data(); }
+    const Complex *data() const { return a_.data(); }
 
     /** 4x4 identity. */
     static Mat4 identity();
@@ -109,7 +115,8 @@ double traceInfidelity(const Mat4 &a, const Mat4 &b);
 // the form (k1 (x) k0) * M and gradient traces Tr(G (x1 (x) x0));
 // these kernels fuse the Kronecker structure instead of materializing
 // 4x4 local operators, and write into caller-provided scratch so the
-// inner loop performs no allocation.
+// inner loop performs no allocation. All of them dispatch to the
+// active backend of linalg/mat4_kernels.hpp.
 // ---------------------------------------------------------------------------
 
 /**
@@ -117,6 +124,39 @@ double traceInfidelity(const Mat4 &a, const Mat4 &b);
  * `a` or `b`.
  */
 void matmulInto(const Mat4 &a, const Mat4 &b, Mat4 &out);
+
+/**
+ * out = a^dag * b without materializing the adjoint. `out` must not
+ * alias `a` or `b`.
+ */
+void adjointMulInto(const Mat4 &a, const Mat4 &b, Mat4 &out);
+
+/**
+ * Tr(a^dag b) = sum_{i,j} conj(a(i,j)) b(i,j) -- the Frobenius
+ * inner product behind every trace-fidelity reduction. Accumulation
+ * order is pinned by the kernel contract (mat4_kernels.hpp), so the
+ * value is bit-identical across backends.
+ */
+Complex adjointTraceDot(const Mat4 &a, const Mat4 &b);
+
+/**
+ * Fused forward layer step of the synthesis objective:
+ * bright = layer * r_prev, right = (u1 (x) u0) * bright. One
+ * dispatch for the innermost product chain of valueAndGrad; the
+ * outputs must not alias each other or the inputs.
+ */
+void fusedLayerForward(const Mat4 &layer, const Mat2 &u1,
+                       const Mat2 &u0, const Mat4 &r_prev,
+                       Mat4 &bright, Mat4 &right);
+
+/**
+ * Fused backward layer step: out = (left * (u1 (x) u0)) * layer, or
+ * just left * (u1 (x) u0) when layer == nullptr. `out` may alias
+ * `left`.
+ */
+void fusedLayerBackward(const Mat4 &left, const Mat2 &u1,
+                        const Mat2 &u0, const Mat4 *layer,
+                        Mat4 &out);
 
 /**
  * out = (a1 (x) a0) * m, fused over the 2x2 block structure (never

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Backend probe and dispatch for the Mat4 kernel table.
+ *
+ * Resolution happens once, on first use: AVX2 when the host
+ * supports it and the backend was compiled in, unless
+ * QBASIS_FORCE_SCALAR pins the scalar reference (the forced-scalar
+ * side of the simd-determinism CI matrix). The active table is held
+ * in a relaxed atomic so test-only overrides (setMat4Backend) are
+ * race-free against concurrent readers.
+ */
+
+#include "linalg/mat4_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qbasis {
+
+// Backend tables (mat4_kernels_scalar.cpp / mat4_kernels_avx2.cpp;
+// the AVX2 one returns nullptr when compiled without -mavx2).
+const Mat4KernelTable *mat4ScalarTable();
+const Mat4KernelTable *mat4Avx2Table();
+
+namespace {
+
+bool
+cpuSupports(const char *feature)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // libgcc/compiler-rt's probe checks XCR0 state for the AVX
+    // family, so "avx2" here implies OS ymm-save support too.
+    if (std::strcmp(feature, "avx2") == 0)
+        return __builtin_cpu_supports("avx2");
+    if (std::strcmp(feature, "fma") == 0)
+        return __builtin_cpu_supports("fma");
+    return false;
+#else
+    (void)feature;
+    return false;
+#endif
+}
+
+struct Dispatch
+{
+    std::atomic<const Mat4KernelTable *> table;
+    std::atomic<Mat4Backend> backend;
+
+    Dispatch()
+    {
+        const Mat4Backend resolved = resolveMat4Backend(
+            std::getenv("QBASIS_FORCE_SCALAR"),
+            mat4HostHasAvx2() && mat4Avx2Table() != nullptr);
+        backend.store(resolved, std::memory_order_relaxed);
+        table.store(resolved == Mat4Backend::Avx2 ? mat4Avx2Table()
+                                                  : mat4ScalarTable(),
+                    std::memory_order_relaxed);
+    }
+};
+
+Dispatch &
+dispatch()
+{
+    static Dispatch d;
+    return d;
+}
+
+} // namespace
+
+bool
+mat4HostHasAvx2()
+{
+    static const bool has = cpuSupports("avx2");
+    return has;
+}
+
+bool
+mat4HostHasFma()
+{
+    static const bool has = cpuSupports("fma");
+    return has;
+}
+
+Mat4Backend
+resolveMat4Backend(const char *force_scalar_env, bool avx2_usable)
+{
+    if (force_scalar_env != nullptr && *force_scalar_env != '\0'
+        && std::strcmp(force_scalar_env, "0") != 0)
+        return Mat4Backend::Scalar;
+    return avx2_usable ? Mat4Backend::Avx2 : Mat4Backend::Scalar;
+}
+
+const Mat4KernelTable &
+mat4Kernels()
+{
+    return *dispatch().table.load(std::memory_order_relaxed);
+}
+
+Mat4Backend
+activeMat4Backend()
+{
+    return dispatch().backend.load(std::memory_order_relaxed);
+}
+
+const Mat4KernelTable *
+mat4BackendTable(Mat4Backend backend)
+{
+    switch (backend) {
+    case Mat4Backend::Scalar:
+        return mat4ScalarTable();
+    case Mat4Backend::Avx2:
+        return mat4HostHasAvx2() ? mat4Avx2Table() : nullptr;
+    }
+    return nullptr;
+}
+
+const char *
+mat4BackendName(Mat4Backend backend)
+{
+    return backend == Mat4Backend::Avx2 ? "avx2" : "scalar";
+}
+
+std::string
+mat4BackendBanner()
+{
+    std::string host = "baseline";
+    if (mat4HostHasAvx2())
+        host = mat4HostHasFma() ? "avx2+fma" : "avx2";
+    std::string banner = mat4BackendName(activeMat4Backend());
+    banner += " [host: " + host + "]";
+    if (activeMat4Backend() == Mat4Backend::Avx2)
+        banner += " (fp-contract off for bit-identity)";
+    else if (mat4HostHasAvx2())
+        banner += " (scalar pinned: QBASIS_FORCE_SCALAR or "
+                  "QBASIS_SIMD=OFF build)";
+    return banner;
+}
+
+bool
+setMat4Backend(Mat4Backend backend)
+{
+    const Mat4KernelTable *table = mat4BackendTable(backend);
+    if (table == nullptr)
+        return false;
+    Dispatch &d = dispatch();
+    d.table.store(table, std::memory_order_relaxed);
+    d.backend.store(backend, std::memory_order_relaxed);
+    return true;
+}
+
+} // namespace qbasis

@@ -52,9 +52,15 @@
 
 namespace qbasis {
 
-/** Bump on any incompatible layout change; CI keys its snapshot
- *  artifact cache on this value (see .github/workflows/ci.yml). */
-constexpr uint32_t kCacheFormatVersion = 1;
+/** Bump on any incompatible layout change OR numerics epoch: a
+ *  snapshot's entries must be byte-identical to what the current
+ *  build would synthesize, so a change to kernel rounding or
+ *  accumulation order (e.g. v2: the dispatched SIMD Mat4 kernel
+ *  layer repinned the trace-reduction accumulation) retires old
+ *  snapshots even though the layout still parses. CI keys its
+ *  snapshot artifact cache on this value (see
+ *  .github/workflows/ci.yml). */
+constexpr uint32_t kCacheFormatVersion = 2;
 
 /** Outcome classes of snapshot encode/decode/save/load. */
 enum class CacheIoStatus

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <set>
 
+#include "linalg/mat4_kernels.hpp"
 #include "monodromy/depth.hpp"
 #include "synth/depth_cache.hpp"
 #include "util/logging.hpp"
@@ -32,6 +33,9 @@ struct ClassJob
     Mat4 basis;
     std::vector<Mat4> layers; ///< Current wave's layer sequence.
     int depth = 1;
+    /** Depth-oracle verdict prefetched in parallel before job start
+     *  (see prefetchDepthVerdicts); -1 when not prefetched. */
+    int predicted_depth = -1;
 
     std::vector<RestartSlot> slots;
     std::atomic<int> remaining{0};
@@ -233,12 +237,15 @@ BatchState::startJob(ClassJob &job)
     try {
         int start = 1;
         if (opts.use_depth_prediction) {
-            // Shared verdict cache: the oracle search runs once per
-            // (basis, options, class) process-wide instead of once
-            // per class job.
-            start = DepthOracleCache::shared().predict(
-                job.class_gate, job.basis, opts.max_layers,
-                opts.oracle);
+            // Normally served from the batch's prefetch pass
+            // (prefetchDepthVerdicts); the fallback predict() hits
+            // the shared verdict cache at most once per
+            // (basis, options, class) process-wide.
+            start = job.predicted_depth >= 0
+                        ? job.predicted_depth
+                        : DepthOracleCache::shared().predict(
+                              job.class_gate, job.basis,
+                              opts.max_layers, opts.oracle);
             if (start == 0) {
                 job.result = synthesizeLocalTarget(job.class_gate);
                 finishJob();
@@ -254,6 +261,34 @@ BatchState::startJob(ClassJob &job)
         recordError(job);
         finishJob();
     }
+}
+
+/**
+ * Depth-prediction batching: resolve every job's depth-oracle
+ * verdict through the pool *before* the first job starts, instead of
+ * serially at the head of each job's startJob. Jobs are distinct
+ * Weyl classes by construction, so the batch's uncached verdicts
+ * (each a multistart Nelder-Mead search) fan out across workers;
+ * repeat classes hit DepthOracleCache and concurrent batches dedupe
+ * through its in-flight claims. Verdicts are pure functions of
+ * (class, basis, options), so prefetching cannot change any result
+ * -- it only moves oracle work off the jobs' critical path. Like the
+ * phase-1 KAK pass, the prefetch runs on the default (Normal) lane
+ * regardless of the batch's wave priority.
+ */
+void
+prefetchDepthVerdicts(ThreadPool &pool, const SynthOptions &opts,
+                      std::vector<std::unique_ptr<ClassJob>> &jobs)
+{
+    if (!opts.use_depth_prediction || jobs.empty())
+        return;
+    pool.parallelFor(jobs.size(), [&](size_t i) {
+        jobs[i]->predicted_depth =
+            DepthOracleCache::shared().predict(jobs[i]->class_gate,
+                                               jobs[i]->basis,
+                                               opts.max_layers,
+                                               opts.oracle);
+    });
 }
 
 /**
@@ -316,6 +351,7 @@ SynthEngine::stats() const
     Stats s;
     s.restarts_run = restarts_run_.load();
     s.restarts_pruned = restarts_pruned_.load();
+    s.mat4_backend = mat4BackendName(activeMat4Backend());
     return s;
 }
 
@@ -362,9 +398,11 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
         jobs.push_back(std::move(job));
     }
 
-    // Phase 3: run all jobs to completion on the pool, then insert in
-    // job order (= first-appearance order) so cache contents never
-    // depend on completion order.
+    // Phase 3: batch the depth-oracle verdicts through the pool,
+    // then run all jobs to completion and insert in job order
+    // (= first-appearance order) so cache contents never depend on
+    // completion order.
+    prefetchDepthVerdicts(*pool_, opts, jobs);
     runJobsOnPool(*pool_, opts, jobs, priority, restarts_run_,
                   restarts_pruned_);
     for (auto &job : jobs)
@@ -442,9 +480,11 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
         }
     }
 
-    // Phase 3: run the owned jobs; publish in job order. On error,
-    // release every claim so concurrent waiters can take over.
+    // Phase 3: batch the depth-oracle verdicts for the owned jobs,
+    // then run them; publish in job order. On error, release every
+    // claim so concurrent waiters can take over.
     try {
+        prefetchDepthVerdicts(*pool_, opts, jobs);
         runJobsOnPool(*pool_, opts, jobs, priority, restarts_run_,
                       restarts_pruned_);
     } catch (...) {

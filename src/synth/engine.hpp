@@ -112,6 +112,9 @@ class SynthEngine
          *  smaller-index restart of their wave had already reached
          *  the target (submission-time pruning). */
         uint64_t restarts_pruned = 0;
+        /** Mat4 kernel backend the engine's synthesis math ran on
+         *  ("scalar" or "avx2"; see linalg/mat4_kernels.hpp). */
+        const char *mat4_backend = "";
     };
 
     Stats stats() const;

@@ -34,9 +34,9 @@ class SynthObjective
 {
   public:
     SynthObjective(const Mat4 &target, const std::vector<Mat4> &layers)
-        : target_dag_(target.dagger()), layers_(layers),
-          n_(static_cast<int>(layers.size())), right_(n_ + 1),
-          bright_(n_ + 1), u1_(n_ + 1), u0_(n_ + 1)
+        : target_(target), target_dag_(target.dagger()),
+          layers_(layers), n_(static_cast<int>(layers.size())),
+          right_(n_ + 1), bright_(n_ + 1), u1_(n_ + 1), u0_(n_ + 1)
     {
     }
 
@@ -57,15 +57,14 @@ class SynthObjective
         }
         right_[0] = Mat4::kron(u1_[0], u0_[0]);
         for (int j = 1; j <= n_; ++j) {
-            matmulInto(layers_[j - 1], right_[j - 1], bright_[j]);
-            kronMulLeft(u1_[j], u0_[j], bright_[j], right_[j]);
+            // One dispatched call per layer: bright[j] and right[j]
+            // in a single fused kernel (mat4_kernels.hpp).
+            fusedLayerForward(layers_[j - 1], u1_[j], u0_[j],
+                              right_[j - 1], bright_[j], right_[j]);
         }
         const Mat4 &v = right_[n_];
 
-        Complex tr{};
-        for (int i = 0; i < 4; ++i)
-            for (int k = 0; k < 4; ++k)
-                tr += target_dag_(i, k) * v(k, i);
+        const Complex tr = adjointTraceDot(target_, v);
         const double f = 1.0 - std::norm(tr) / 16.0;
 
         // Backward pass: left = K_n B ... B (up to, excluding K_j).
@@ -99,24 +98,24 @@ class SynthObjective
             }
 
             // Extend the left product to include K_j (and the basis
-            // gate separating it from layer j-1).
-            mulKronRight(left_, u1_[j], u0_[j], tmp_);
-            if (j > 0)
-                matmulInto(tmp_, layers_[j - 1], left_);
-            else
-                left_ = tmp_;
+            // gate separating it from layer j-1), fused into one
+            // dispatched call; the kernel's internal scratch makes
+            // the in-place update on left_ safe.
+            fusedLayerBackward(left_, u1_[j], u0_[j],
+                               j > 0 ? &layers_[j - 1] : nullptr,
+                               left_);
         }
         return f;
     }
 
   private:
-    Mat4 target_dag_;
+    Mat4 target_, target_dag_;
     const std::vector<Mat4> &layers_;
     int n_;
     // Scratch (see class comment).
     std::vector<Mat4> right_, bright_;
     std::vector<Mat2> u1_, u0_;
-    Mat4 left_, tdl_, g_, tmp_;
+    Mat4 left_, tdl_, g_;
     Mat2 s1_, s0_;
 };
 
@@ -188,10 +187,7 @@ assembleDecomposition(const Mat4 &target,
     }
     // Phase aligning the reconstruction with the target.
     const Mat4 v = d.reconstruct();
-    Complex overlap{};
-    for (int i = 0; i < 4; ++i)
-        for (int k = 0; k < 4; ++k)
-            overlap += std::conj(v(i, k)) * target(i, k);
+    const Complex overlap = adjointTraceDot(v, target);
     const double mag = std::abs(overlap);
     d.phase = mag > 1e-300 ? overlap / mag : Complex(1.0);
     return d;

@@ -97,18 +97,19 @@ kakDecompose(const Mat4 &u, double tol)
     const Mat4 usu = u.toSU4();
     Complex global = 0.0;
     {
-        // u = g * usu with |g| = 1.
-        Complex overlap{};
-        for (int i = 0; i < 4; ++i)
-            for (int j = 0; j < 4; ++j)
-                overlap += std::conj(usu(i, j)) * u(i, j);
+        // u = g * usu with |g| = 1; the overlap is the dispatched
+        // adjoint-trace reduction Tr(usu^dag u).
+        Complex overlap = adjointTraceDot(usu, u);
         global = overlap / 4.0;
         global /= std::abs(global);
     }
 
     const Mat4 q = magicBasis();
     const Mat4 qd = q.dagger();
-    const Mat4 m = qd * usu * q;
+    // Magic-basis conjugation via the fused adjoint-multiply kernel.
+    Mat4 qdu;
+    adjointMulInto(q, usu, qdu);
+    const Mat4 m = qdu * q;
 
     // Bidiagonalize M = L D R^T with L, R in SO(4), D diagonal
     // unitary. L simultaneously diagonalizes Re/Im of M M^T.
