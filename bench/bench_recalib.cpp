@@ -26,6 +26,16 @@
  * N-shard run.
  *
  * Usage: bench_recalib [--quick|--smoke] [--threads N]
+ *                      [--faults [seed]]
+ *
+ * --faults arms the deterministic fault registry (util/fault) over
+ * the recalibration pipelines and runs the overlapped mode twice
+ * with the same fault seed. The exit code additionally gates on the
+ * degraded-mode contract: both runs must produce bit-identical
+ * HealthReports (healthReportDigest) and bit-identical post-cycle
+ * reports, and every quarantined edge must have kept serving its
+ * last-good basis. A "faults" JSON section reports the degraded-mode
+ * overlap ratio and failure-domain counters.
  *
  * JSON schema (BENCH_recalib.json):
  * {
@@ -57,6 +67,7 @@
 #include "apps/qft.hpp"
 #include "core/fleet.hpp"
 #include "synth/depth_cache.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 
 using namespace qbasis;
@@ -178,16 +189,31 @@ struct ModeResult
     RecalibCycleReport post;       ///< Post-drain report, last cycle.
 };
 
+/** Disarms the fault registry on scope exit. */
+struct FaultScope
+{
+    explicit FaultScope(const FaultPlan *plan)
+    {
+        if (plan != nullptr)
+            configureFaults(*plan);
+    }
+    ~FaultScope() { disableFaults(); }
+};
+
 /**
  * Run `cycles` drift cycles. `overlap` selects the async mode
  * (compile immediately, drain after); the baseline drains first and
  * clears the class cache per cycle, reproducing the synchronous
- * invalidation flow this subsystem replaces.
+ * invalidation flow this subsystem replaces. A non-null `faults`
+ * plan arms the registry for the timed cycles only (initial
+ * calibration and the warm compile stay fault-free, like a live
+ * fleet that degrades mid-service).
  */
 ModeResult
 runMode(const BenchConfig &cfg, int shards, bool overlap,
         const std::vector<FleetCircuit> &circuits,
-        const std::vector<FleetCircuit> &verify)
+        const std::vector<FleetCircuit> &verify,
+        const FaultPlan *faults = nullptr)
 {
     // Both modes start with a cold process-wide depth-oracle cache:
     // verdicts computed by whichever mode runs first must not
@@ -201,6 +227,7 @@ runMode(const BenchConfig &cfg, int shards, bool overlap,
     // warmth -- that is precisely the cost being measured.
     driver.compileCircuits(circuits);
 
+    const FaultScope fault_scope(faults);
     ModeResult r;
     double overlap_sum = 0.0;
     int overlap_cycles = 0;
@@ -259,12 +286,86 @@ runMode(const BenchConfig &cfg, int shards, bool overlap,
     return r;
 }
 
+/** Outcome of the --faults replay pair. */
+struct FaultBench
+{
+    FaultPlan plan;
+    ModeResult run;           ///< First of the two identical runs.
+    uint64_t health_digest = 0;
+    bool replay_identical = false;
+    bool served_last_good = false;
+};
+
+/**
+ * Every quarantined edge must still serve a well-formed, last-good
+ * basis: paired edge/basis arrays, a positive duration, and a
+ * calibration exactly stale_cycles behind the report cycle (i.e. the
+ * pre-failure publish, not a torn or empty set).
+ */
+bool
+quarantinedServedLastGood(const RecalibCycleReport &post)
+{
+    for (const EdgeQuarantine &q : post.health.quarantined) {
+        if (q.device_id < 0
+            || static_cast<size_t>(q.device_id) >= post.devices.size())
+            return false;
+        const RecalibDeviceCycle &dev =
+            post.devices[static_cast<size_t>(q.device_id)];
+        if (dev.bases.size() != dev.edges.size())
+            return false;
+        bool found = false;
+        for (size_t e = 0; e < dev.edges.size(); ++e) {
+            if (dev.edges[e].edge_id != q.edge_id)
+                continue;
+            found = true;
+            if (dev.bases[e].duration_ns <= 0.0)
+                return false;
+            if (dev.edges[e].calibrated_cycle + q.stale_cycles
+                != post.cycle)
+                return false;
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Degraded-mode replay: run the overlapped mode twice under the same
+ * fault plan. The contract gated here is the one test_fault proves
+ * at unit scale -- same fault seed, same HealthReport, same
+ * post-cycle report -- now measured on the bench workload.
+ */
+FaultBench
+runFaulted(const BenchConfig &cfg, int shards,
+           const std::vector<FleetCircuit> &circuits,
+           const std::vector<FleetCircuit> &verify, uint64_t seed)
+{
+    FaultBench fb;
+    fb.plan.seed = seed;
+    fb.plan.probability = 0.5;
+    fb.plan.site_filter = "recalib.simulate";
+    fb.run = runMode(cfg, shards, /*overlap=*/true, circuits, verify,
+                     &fb.plan);
+    const ModeResult replay = runMode(cfg, shards, /*overlap=*/true,
+                                      circuits, verify, &fb.plan);
+    fb.health_digest = healthReportDigest(fb.run.post.health);
+    fb.replay_identical =
+        healthReportsBitIdentical(fb.run.post.health,
+                                  replay.post.health)
+        && fb.health_digest == healthReportDigest(replay.post.health)
+        && recalibReportsBitIdentical(fb.run.post, replay.post);
+    fb.served_last_good = quarantinedServedLastGood(fb.run.post)
+                          && quarantinedServedLastGood(replay.post);
+    return fb;
+}
+
 void
 writeJson(const char *path, bool quick, bool smoke,
           const BenchConfig &cfg, int edges_per_device,
           const ModeResult &sync, const ModeResult &async_r,
           int shards_async, bool results_match,
-          uint64_t restarts_pruned)
+          uint64_t restarts_pruned, const FaultBench *faults)
 {
     FILE *f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -296,7 +397,7 @@ writeJson(const char *path, bool quick, bool smoke,
         "  \"determinism\": {\n"
         "    \"shards_sync\": 1,\n"
         "    \"shards_async\": %d,\n"
-        "    \"results_match\": %s\n  }\n}\n",
+        "    \"results_match\": %s\n  }",
         quick ? "true" : "false", smoke ? "true" : "false",
         cfg.threads, cfg.devices, edges_per_device, cfg.cycles,
         async_r.recalibrated_edges, sync.wall_ms, sync.recalib_ms,
@@ -307,6 +408,39 @@ writeJson(const char *path, bool quick, bool smoke,
         static_cast<unsigned long long>(restarts_pruned),
         async_r.wall_ms > 0.0 ? sync.wall_ms / async_r.wall_ms : 0.0,
         shards_async, results_match ? "true" : "false");
+    if (faults != nullptr) {
+        const HealthReport &health = faults->run.post.health;
+        std::fprintf(
+            f,
+            ",\n  \"faults\": {\n"
+            "    \"seed\": %llu,\n"
+            "    \"probability\": %.2f,\n"
+            "    \"site_filter\": \"%s\",\n"
+            "    \"degraded_wall_ms\": %.3f,\n"
+            "    \"degraded_overlap_ratio\": %.4f,\n"
+            "    \"stage_retries\": %llu,\n"
+            "    \"contained_errors\": %llu,\n"
+            "    \"quarantined_edges\": %zu,\n"
+            "    \"quarantine_skipped\": %llu,\n"
+            "    \"max_stale_cycles\": %llu,\n"
+            "    \"health_digest\": \"%016llx\",\n"
+            "    \"replay_identical\": %s,\n"
+            "    \"served_last_good\": %s\n  }",
+            static_cast<unsigned long long>(faults->plan.seed),
+            faults->plan.probability,
+            faults->plan.site_filter.c_str(), faults->run.wall_ms,
+            faults->run.overlap_ratio,
+            static_cast<unsigned long long>(health.stage_retries),
+            static_cast<unsigned long long>(health.contained_errors),
+            health.quarantined.size(),
+            static_cast<unsigned long long>(
+                health.quarantine_skipped),
+            static_cast<unsigned long long>(health.max_stale_cycles),
+            static_cast<unsigned long long>(faults->health_digest),
+            faults->replay_identical ? "true" : "false",
+            faults->served_last_good ? "true" : "false");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", path);
 }
@@ -318,6 +452,8 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool smoke = false;
+    bool with_faults = false;
+    uint64_t fault_seed = 2022;
     BenchConfig cfg;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
@@ -327,9 +463,14 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--threads") == 0
                  && i + 1 < argc)
             cfg.threads = std::atoi(argv[++i]);
-        else {
-            std::fprintf(stderr, "usage: bench_recalib "
-                                 "[--quick|--smoke] [--threads N]\n");
+        else if (std::strcmp(argv[i], "--faults") == 0) {
+            with_faults = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                fault_seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_recalib [--quick|--smoke] "
+                         "[--threads N] [--faults [seed]]\n");
             return 2;
         }
     }
@@ -384,6 +525,16 @@ main(int argc, char **argv)
     const ModeResult async_r =
         runMode(cfg, shards_async, /*overlap=*/true, circuits, verify);
 
+    FaultBench fault_bench;
+    if (with_faults) {
+        std::printf("[faults] degraded-mode replay pair, fault seed "
+                    "%llu, p=%.2f on %s...\n",
+                    static_cast<unsigned long long>(fault_seed), 0.5,
+                    "recalib.simulate");
+        fault_bench = runFaulted(cfg, shards_async, circuits, verify,
+                                 fault_seed);
+    }
+
     const bool results_match =
         recalibReportsBitIdentical(sync.post, async_r.post);
     const double speedup =
@@ -420,11 +571,36 @@ main(int argc, char **argv)
                 shards_async,
                 results_match ? "bit-identical" : "MISMATCH");
 
+    if (with_faults) {
+        const HealthReport &health = fault_bench.run.post.health;
+        std::printf(
+            "\n[faults] degraded overlap ratio: %.2f; retries %llu, "
+            "contained %llu, quarantined %zu (max stale %llu "
+            "cycles)\n",
+            fault_bench.run.overlap_ratio,
+            static_cast<unsigned long long>(health.stage_retries),
+            static_cast<unsigned long long>(health.contained_errors),
+            health.quarantined.size(),
+            static_cast<unsigned long long>(health.max_stale_cycles));
+        std::printf("[faults] replay (same fault seed): %s; "
+                    "quarantined edges served last-good basis: %s\n",
+                    fault_bench.replay_identical ? "bit-identical"
+                                                 : "MISMATCH",
+                    fault_bench.served_last_good ? "yes" : "NO");
+    }
+
     writeJson("BENCH_recalib.json", quick, smoke, cfg,
               edges_per_device, sync, async_r, shards_async,
-              results_match, async_r.engine.restarts_pruned);
+              results_match, async_r.engine.restarts_pruned,
+              with_faults ? &fault_bench : nullptr);
 
     bool ok = results_match;
+    if (with_faults
+        && !(fault_bench.replay_identical
+             && fault_bench.served_last_good)) {
+        std::printf("FAIL: degraded-mode contract violated\n");
+        ok = false;
+    }
     if (async_r.compile_stall_ms > kStallSanityCeilingMs) {
         std::printf("FAIL: async compile path stalled %.3f ms\n",
                     async_r.compile_stall_ms);

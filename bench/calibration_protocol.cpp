@@ -65,6 +65,10 @@ main()
                                     device.couplerOmegaMax());
         const RetuneResult r =
             retune(day_sim, tuneup, opts.gst, rng);
+        if (!r.success) {
+            std::printf("retune failed: %s\n", r.error.c_str());
+            return 1;
+        }
         const bool ok = criterionSatisfied(
             SelectionCriterion::Criterion1, cartanCoords(r.gate),
             1e-6);

@@ -70,6 +70,10 @@ main()
         driftParams(pair, drift, rng);
     const PairSimulator day2(drifted, device.couplerOmegaMax());
     const RetuneResult r = retune(day2, tuneup, opts.gst, rng);
+    if (!r.success) {
+        std::printf("  retune failed: %s\n", r.error.c_str());
+        return 1;
+    }
     std::printf("  drive refreshed to %.4f GHz; gate moved by "
                 "%.2e (trace infidelity)\n", r.omega_d / kTwoPi,
                 r.gate_shift);

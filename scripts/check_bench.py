@@ -17,7 +17,14 @@ in bench/baselines.json:
     retirement sweep shrinking the snapshot,
   * mat4 kernels: scalar-vs-SIMD bit-identity on every kernel, and
     speedup floors (per kernel and geomean) that apply only when the
-    SIMD backend is available on the runner (simd_available).
+    SIMD backend is available on the runner (simd_available),
+  * fault injection (only when the recalib JSON carries a "faults"
+    section, i.e. it came from `bench_recalib --faults`): the
+    same-fault-seed replay must be bit-identical and every
+    quarantined edge must have served its last-good basis.
+
+A missing or unparseable BENCH file is reported as a clear,
+path-bearing FAIL row -- never a traceback.
 
 Every committed floor is evaluated and printed as one row of a diff
 table (key, observed, requirement, status), so a failing run shows
@@ -215,6 +222,19 @@ def check_recalib(bench, base, gate):
             bench.get("fleet", {}).get("recalibrated_edges", 0),
             floor,
         )
+    # Degraded-mode contract: only present when the producing run was
+    # `bench_recalib --faults` (the CI fault-sweep job); the regular
+    # quick pass carries no faults section and skips these rows.
+    faults = bench.get("faults")
+    if faults is not None:
+        gate.require(
+            "recalib.faults.replay_identical",
+            faults.get("replay_identical"),
+        )
+        gate.require(
+            "recalib.faults.served_last_good",
+            faults.get("served_last_good"),
+        )
 
 
 def check_persist(bench, base, gate):
@@ -316,7 +336,15 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load(args.baselines)
+    try:
+        base = load(args.baselines)
+    except (OSError, json.JSONDecodeError) as err:
+        print(
+            f"bench gate: cannot read baselines {args.baselines}: "
+            f"{err}",
+            file=sys.stderr,
+        )
+        return 1
     gate = Gate()
     for name, path, check in (
         ("synth", args.synth, check_synth),
@@ -327,8 +355,12 @@ def main():
     ):
         try:
             check(load(path), base, gate)
-        except (OSError, json.JSONDecodeError) as err:
-            gate.missing(name, err.__class__.__name__)
+        except OSError as err:
+            # A clear, path-bearing row (the bench binary did not run
+            # or wrote elsewhere), not a traceback.
+            gate.missing(name, f"{path}: {err.strerror or err}")
+        except json.JSONDecodeError as err:
+            gate.missing(name, f"{path}: invalid JSON ({err})")
 
     gate.print_table()
     failures = gate.failures

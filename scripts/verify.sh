@@ -7,10 +7,11 @@
 #   --quick    skip the bench pass (bench_synth + bench_fleet +
 #              bench_recalib + bench_persist + bench_mat4 +
 #              scripts/check_bench.py); the mat4, fleet, recalib,
-#              and persist smokes still run so every matrix job
-#              exercises the SIMD kernel bit-identity check, the
-#              sharded driver, the async retune pipeline, and the
-#              snapshot round trip.
+#              persist, and fault smokes still run so every matrix
+#              job exercises the SIMD kernel bit-identity check, the
+#              sharded driver, the async retune pipeline, the
+#              snapshot round trip, and the degraded-mode replay
+#              contract.
 #
 # Environment:
 #   CMAKE_BUILD_TYPE   build configuration (default Release)
@@ -44,7 +45,10 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 # avx2, plus the probed host ISA).
 "$BUILD_DIR/bench_mat4" --backend
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+# --timeout turns a hung test (a deadlocked waiter, a quarantined
+# edge never released) into a bounded failure instead of a stuck job.
+ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 1200 \
+      -j"$(nproc)"
 
 # Mat4 kernel smoke: scalar-vs-SIMD bit-identity on every dispatched
 # kernel is the exit code.
@@ -62,6 +66,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 # compile, retirement sweep shrinkage, and corrupt-snapshot
 # rejection are the exit code.
 "$BUILD_DIR/bench_persist" --smoke
+
+# Fault smoke: degraded-mode replay under a pinned fault seed (one
+# that retries, contains, and quarantines at smoke scale). Runs
+# BEFORE the --quick bench pass below so the BENCH_recalib.json the
+# bench gate reads is the non-faulted one.
+"$BUILD_DIR/bench_recalib" --faults 1 --smoke
 
 if [ "$QUICK" = 0 ]; then
   "$BUILD_DIR/bench_synth" --quick

@@ -1,12 +1,44 @@
 #include "calib/async/recalib_scheduler.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "weyl/gates.hpp"
 #include "weyl/kak.hpp"
 
 namespace qbasis {
+
+namespace {
+
+// One probe per pipeline stage; keys are the logical edge identity,
+// so a fault campaign replays bit-identically at any shard count.
+const FaultSite kFaultRecalibSimulate("recalib.simulate");
+const FaultSite kFaultRecalibSelect("recalib.select");
+const FaultSite kFaultRecalibResynth("recalib.resynth");
+
+uint64_t
+edgeFaultKey(int device_id, int edge_id)
+{
+    return (static_cast<uint64_t>(static_cast<uint32_t>(device_id))
+            << 32)
+           | static_cast<uint32_t>(edge_id);
+}
+
+std::string
+describeError(const std::exception_ptr &error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
+
+} // namespace
 
 /** One in-flight edge pipeline (owned by its stage closures). */
 struct RecalibScheduler::Task
@@ -15,6 +47,8 @@ struct RecalibScheduler::Task
     std::unique_ptr<PairSimulator> sim;
     double window_ns = 0.0;
     int extensions_used = 0;
+    /** Whole-pipeline restarts already consumed by this task. */
+    int retries_used = 0;
     bool selected = false;
     Trajectory traj;
     EdgeCalibration cal;
@@ -70,6 +104,17 @@ RecalibScheduler::schedule(RecalibJob job)
     std::shared_ptr<Task> start;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        const auto quarantined = quarantine_.find(key);
+        if (quarantined != quarantine_.end()) {
+            if (job.cycle < quarantined->second.release_cycle) {
+                // Cycle-denominated backoff: the edge sits out until
+                // a job stamped at/after the release cycle arrives.
+                // The device keeps serving the last-good basis.
+                ++stats_.quarantine_skipped;
+                return;
+            }
+            quarantine_.erase(quarantined);
+        }
         ++stats_.scheduled;
         EdgeQueue &q = queues_[key];
         if (q.running) {
@@ -154,6 +199,8 @@ void
 RecalibScheduler::stageSimulate(const std::shared_ptr<Task> &task)
 {
     RecalibJob &job = task->job;
+    faultPoint(kFaultRecalibSimulate,
+               edgeFaultKey(job.device_id, job.edge_id));
     if (!task->sim) {
         task->sim = std::make_unique<PairSimulator>(
             job.params, job.device->couplerOmegaMax(),
@@ -179,6 +226,8 @@ RecalibScheduler::stageSimulate(const std::shared_ptr<Task> &task)
 void
 RecalibScheduler::stageSelect(const std::shared_ptr<Task> &task)
 {
+    faultPoint(kFaultRecalibSelect,
+               edgeFaultKey(task->job.device_id, task->job.edge_id));
     const std::optional<SelectedBasisGate> sel = selectBasisGate(
         task->traj, task->job.criterion, opts_.calib.selector);
     if (sel) {
@@ -200,6 +249,10 @@ RecalibScheduler::stageSelect(const std::shared_ptr<Task> &task)
 void
 RecalibScheduler::stageResynthesize(const std::shared_ptr<Task> &task)
 {
+    // Probe before any side effect: a firing probe must leave the
+    // edge's published state untouched (no torn publish).
+    faultPoint(kFaultRecalibResynth,
+               edgeFaultKey(task->job.device_id, task->job.edge_id));
     EdgeCalibration &cal = task->cal;
     cal.calibrated_cycle = task->job.cycle;
 
@@ -218,22 +271,21 @@ RecalibScheduler::stageResynthesize(const std::shared_ptr<Task> &task)
             const TwoQubitDecomposition *dec = nullptr;
             switch (cache_.acquire(key, task->job.device_id, 1,
                                    &dec)) {
-            case SharedDecompositionCache::Claim::Owner:
-                try {
-                    cache_.publish(
-                        key,
-                        synthesizeGate(
-                            DecompositionCache::classGate(key),
-                            cal.gate.gate, opts_.synth));
-                } catch (...) {
-                    cache_.abandon(key);
-                    throw;
-                }
+            case SharedDecompositionCache::Claim::Owner: {
+                // The guard abandons the claim if synthesis throws,
+                // so a waiter re-claims instead of blocking forever.
+                ClaimGuard guard(&cache_, key);
+                cache_.publish(key,
+                               synthesizeGate(
+                                   DecompositionCache::classGate(key),
+                                   cal.gate.gate, opts_.synth));
+                guard.release();
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
                     ++stats_.presynth_owned;
                 }
                 break;
+            }
             case SharedDecompositionCache::Claim::Ready: {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++stats_.presynth_ready;
@@ -265,26 +317,78 @@ void
 RecalibScheduler::completeTask(const std::shared_ptr<Task> &task,
                                std::exception_ptr error)
 {
+    const RecalibPolicy &policy = opts_.policy;
     const EdgeKey key{task->job.device_id, task->job.edge_id};
     std::shared_ptr<Task> next;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.completed;
-        if (error) {
-            errors_.emplace(std::make_tuple(task->job.device_id,
-                                            task->job.edge_id,
-                                            task->job.cycle),
-                            error);
-        }
-        EdgeQueue &q = queues_[key];
-        if (!q.pending.empty()) {
+        if (error && policy.contain_failures
+            && task->retries_used < policy.max_stage_retries) {
+            // Bounded retry: restart the whole pipeline on a fresh
+            // Task (stage 1 is not re-entrant after a mid-stage
+            // failure -- a half-built Task would wrongly take the
+            // window-extension branch). The edge queue stays
+            // `running`, so FIFO order is preserved.
+            ++stats_.retries;
             next = std::make_shared<Task>();
-            next->job = std::move(q.pending.front());
-            q.pending.pop_front();
+            next->job = task->job;
+            next->retries_used = task->retries_used + 1;
         } else {
-            q.running = false;
-            if (--inflight_ == 0)
-                idle_cv_.notify_all();
+            ++stats_.completed;
+            uint64_t release_cycle = 0;
+            bool quarantined = false;
+            if (error) {
+                if (policy.contain_failures) {
+                    // Retry budget exhausted: quarantine the edge.
+                    // Its device keeps serving the last-good basis;
+                    // drain() does not fail.
+                    ++stats_.contained_errors;
+                    Quarantine &quar = quarantine_[key];
+                    quar.since_cycle = task->job.cycle;
+                    quar.release_cycle =
+                        task->job.cycle
+                        + std::max<uint64_t>(1,
+                                             policy.quarantine_cycles);
+                    quar.failures +=
+                        static_cast<uint64_t>(task->retries_used) + 1;
+                    quar.error = describeError(error);
+                    release_cycle = quar.release_cycle;
+                    quarantined = true;
+                    warn("RecalibScheduler: quarantined edge %d of "
+                         "device %d until cycle %llu: %s",
+                         task->job.edge_id, task->job.device_id,
+                         static_cast<unsigned long long>(
+                             release_cycle),
+                         quar.error.c_str());
+                } else {
+                    errors_.emplace(
+                        std::make_tuple(task->job.device_id,
+                                        task->job.edge_id,
+                                        task->job.cycle),
+                        error);
+                }
+            }
+            EdgeQueue &q = queues_[key];
+            if (quarantined) {
+                // Drop queued jobs inside the quarantine window; a
+                // queued job at/after the release cycle lifts it.
+                while (!q.pending.empty()
+                       && q.pending.front().cycle < release_cycle) {
+                    ++stats_.quarantine_skipped;
+                    q.pending.pop_front();
+                }
+                if (!q.pending.empty())
+                    quarantine_.erase(key);
+            }
+            if (!q.pending.empty()) {
+                next = std::make_shared<Task>();
+                next->job = std::move(q.pending.front());
+                q.pending.pop_front();
+            } else {
+                q.running = false;
+                if (--inflight_ == 0)
+                    idle_cv_.notify_all();
+            }
         }
     }
     if (next)
@@ -312,6 +416,25 @@ RecalibScheduler::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+}
+
+std::vector<EdgeQuarantine>
+RecalibScheduler::quarantined() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<EdgeQuarantine> out;
+    out.reserve(quarantine_.size());
+    for (const auto &[key, quar] : quarantine_) {
+        EdgeQuarantine e;
+        e.device_id = key.first;
+        e.edge_id = key.second;
+        e.since_cycle = quar.since_cycle;
+        e.release_cycle = quar.release_cycle;
+        e.failures = quar.failures;
+        e.error = quar.error;
+        out.push_back(std::move(e));
+    }
+    return out;
 }
 
 void

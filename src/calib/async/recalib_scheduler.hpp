@@ -54,6 +54,7 @@
 #include <mutex>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/recalib.hpp"
 
@@ -74,6 +75,50 @@ struct RecalibJob
     std::string label;                  ///< For the EdgeBasis table.
 };
 
+/**
+ * Failure-domain policy: what happens when an edge's pipeline throws.
+ *
+ * Backoff is cycle-denominated, never wall-clock: a failed task is
+ * retried immediately (bounded by max_stage_retries), and when the
+ * retry budget is exhausted the edge is quarantined until a job
+ * stamped `failure cycle + quarantine_cycles` arrives. The quarantined
+ * edge keeps serving its last-good VersionedBasisSet -- Barenco
+ * universality makes the stale basis sound, just at yesterday's
+ * fidelity -- and per-edge staleness is surfaced via quarantined()
+ * and the fleet's HealthReport.
+ */
+struct RecalibPolicy
+{
+    /** Contain pipeline failures (retry/quarantine). When false,
+     *  failures propagate out of drain() exactly as before. */
+    bool contain_failures = true;
+    /** Whole-pipeline restarts of a failed task before the edge is
+     *  quarantined (stage 1 is not re-entrant mid-failure, so a
+     *  retry restarts the task from scratch). */
+    int max_stage_retries = 2;
+    /** Drift cycles a quarantined edge sits out; jobs stamped below
+     *  `failure cycle + quarantine_cycles` are skipped (clamped to
+     *  >= 1 so a quarantined edge never retries in-cycle). */
+    uint64_t quarantine_cycles = 2;
+};
+
+/** One quarantined edge, as reported by quarantined(). */
+struct EdgeQuarantine
+{
+    int device_id = 0;
+    int edge_id = 0;
+    uint64_t since_cycle = 0;   ///< Cycle whose task exhausted retries.
+    uint64_t release_cycle = 0; ///< First cycle allowed to retune.
+    /** Contained attempts (initial + retries) accumulated across
+     *  every quarantine of this edge. */
+    uint64_t failures = 0;
+    std::string error; ///< Last contained error message.
+    /** Cycles since the edge's basis was last published; filled by
+     *  FleetDriver::cycleReport from the live snapshot (the
+     *  scheduler itself does not track publish ages). */
+    uint64_t stale_cycles = 0;
+};
+
 /** Options of the scheduler (shared by every job). */
 struct RecalibSchedulerOptions
 {
@@ -82,6 +127,7 @@ struct RecalibSchedulerOptions
                                     ///< match the fleet's compile
                                     ///< options to share cache lines.
     bool presynthesize = true;      ///< Run stage 3's class warm-up.
+    RecalibPolicy policy;           ///< Retry/quarantine behavior.
 };
 
 /** Per-edge async recalibration pipeline on a borrowed pool. */
@@ -125,6 +171,15 @@ class RecalibScheduler
         uint64_t presynth_owned = 0;
         uint64_t presynth_ready = 0;
         uint64_t presynth_pending = 0;
+        /** Failed tasks restarted under RecalibPolicy (one per
+         *  whole-pipeline retry, not per stage). */
+        uint64_t retries = 0;
+        /** Tasks whose retry budget ran out and whose edge was
+         *  quarantined instead of failing drain(). */
+        uint64_t contained_errors = 0;
+        /** Jobs dropped because their edge was quarantined and the
+         *  job's cycle was below the release cycle. */
+        uint64_t quarantine_skipped = 0;
         double busy_ms = 0.0; ///< Sum of stage execution times.
         /** Task-execution window since the scheduler epoch (or the
          *  last resetWindow()); <0 when no task ran yet. The bench
@@ -135,6 +190,13 @@ class RecalibScheduler
     };
 
     Stats stats() const;
+
+    /**
+     * Currently quarantined edges, sorted by (device, edge) --
+     * deterministic for a fixed fault seed. stale_cycles is zero
+     * here; the fleet driver fills it from live snapshots.
+     */
+    std::vector<EdgeQuarantine> quarantined() const;
 
     /** Restart the stats window (per-cycle overlap measurements). */
     void resetWindow();
@@ -169,9 +231,19 @@ class RecalibScheduler
     RecalibSchedulerOptions opts_;
     std::chrono::steady_clock::time_point epoch_;
 
+    /** Quarantine record of one edge (map key carries the ids). */
+    struct Quarantine
+    {
+        uint64_t since_cycle = 0;
+        uint64_t release_cycle = 0;
+        uint64_t failures = 0;
+        std::string error;
+    };
+
     mutable std::mutex mutex_;
     std::condition_variable idle_cv_;
     std::map<EdgeKey, EdgeQueue> queues_;
+    std::map<EdgeKey, Quarantine> quarantine_;
     size_t inflight_ = 0; ///< Edges with a running pipeline.
     std::map<std::tuple<int, int, uint64_t>, std::exception_ptr>
         errors_;

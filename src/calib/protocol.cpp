@@ -68,10 +68,15 @@ RetuneResult
 retune(const PairSimulator &drifted_sim, const TuneupResult &previous,
        const GstOptions &gst, Rng &rng)
 {
-    if (!previous.success)
-        fatal("retune requires a successful initial tuneup");
-
     RetuneResult result;
+    if (!previous.success) {
+        // Status-carrying failure instead of fatal(): the async
+        // scheduler's retry/quarantine path owns the decision of
+        // what a dead edge means for the fleet.
+        result.error = "retune requires a successful initial tuneup";
+        return result;
+    }
+    result.success = true;
     result.duration_ns = previous.duration_ns;
 
     // Quick frequency recalibration at the tuneup's amplitude; the

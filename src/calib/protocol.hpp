@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "calib/gst.hpp"
@@ -67,6 +68,10 @@ TuneupResult initialTuneup(const PairSimulator &sim,
 /** Result of the quick retuning stage. */
 struct RetuneResult
 {
+    /** False when the retune could not run (e.g. the previous
+     *  tuneup had failed); all other fields are then defaulted. */
+    bool success = false;
+    std::string error;      ///< Why success is false (diagnostics).
     double omega_d = 0.0;   ///< Refreshed drive frequency.
     Mat4 gate;              ///< Refreshed gate unitary.
     double duration_ns = 0.0; ///< Unchanged from the tuneup.
@@ -79,6 +84,10 @@ struct RetuneResult
  * tuneup's duration; only the coarse frequency calibration and a
  * GST refresh are repeated (1-5 minutes on hardware vs. the hour-
  * scale initial tuneup).
+ *
+ * A retune against an unsuccessful previous tuneup returns a failed
+ * (status-carrying) result rather than aborting, so schedulers can
+ * route it through their retry/quarantine path.
  */
 RetuneResult retune(const PairSimulator &drifted_sim,
                     const TuneupResult &previous,

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <exception>
 #include <thread>
 
+#include "util/fault.hpp"
 #include "util/fnv.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -13,6 +15,9 @@
 namespace qbasis {
 
 namespace {
+
+/** Forces loadCache() down its rejected-snapshot quarantine path. */
+const FaultSite kFaultFleetLoadCache("fleet.load_cache");
 
 bool
 mat4BitIdentical(const Mat4 &a, const Mat4 &b)
@@ -102,6 +107,59 @@ recalibReportsBitIdentical(const RecalibCycleReport &a,
         }
     }
     return true;
+}
+
+bool
+healthReportsBitIdentical(const HealthReport &a, const HealthReport &b)
+{
+    if (a.stage_retries != b.stage_retries
+        || a.contained_errors != b.contained_errors
+        || a.quarantine_skipped != b.quarantine_skipped
+        || a.synth_restarts_failed != b.synth_restarts_failed
+        || a.cache_quarantines != b.cache_quarantines
+        || a.last_cache_quarantine != b.last_cache_quarantine
+        || a.max_stale_cycles != b.max_stale_cycles
+        || a.quarantined.size() != b.quarantined.size())
+        return false;
+    for (size_t i = 0; i < a.quarantined.size(); ++i) {
+        const EdgeQuarantine &qa = a.quarantined[i];
+        const EdgeQuarantine &qb = b.quarantined[i];
+        if (qa.device_id != qb.device_id || qa.edge_id != qb.edge_id
+            || qa.since_cycle != qb.since_cycle
+            || qa.release_cycle != qb.release_cycle
+            || qa.failures != qb.failures || qa.error != qb.error
+            || qa.stale_cycles != qb.stale_cycles)
+            return false;
+    }
+    return true;
+}
+
+uint64_t
+healthReportDigest(const HealthReport &report)
+{
+    // Mixes exactly the fields healthReportsBitIdentical (above)
+    // compares; extend both together.
+    Fnv64 fnv;
+    fnv.mix(report.stage_retries);
+    fnv.mix(report.contained_errors);
+    fnv.mix(report.quarantine_skipped);
+    fnv.mix(report.synth_restarts_failed);
+    fnv.mix(report.cache_quarantines);
+    fnv.mix(report.last_cache_quarantine.size());
+    fnv.mixString(report.last_cache_quarantine);
+    fnv.mix(report.max_stale_cycles);
+    fnv.mix(report.quarantined.size());
+    for (const EdgeQuarantine &q : report.quarantined) {
+        fnv.mix(static_cast<uint64_t>(q.device_id));
+        fnv.mix(static_cast<uint64_t>(q.edge_id));
+        fnv.mix(q.since_cycle);
+        fnv.mix(q.release_cycle);
+        fnv.mix(q.failures);
+        fnv.mix(q.error.size());
+        fnv.mixString(q.error);
+        fnv.mix(q.stale_cycles);
+    }
+    return fnv.h;
 }
 
 bool
@@ -405,6 +463,7 @@ FleetDriver::scheduler()
         RecalibSchedulerOptions opts;
         opts.calib = opts_.calib;
         opts.synth = opts_.synth; // shared cache lines with compile
+        opts.policy = opts_.recalib;
         recalib_ = std::make_unique<RecalibScheduler>(pool_, cache_,
                                                       opts);
     }
@@ -464,6 +523,7 @@ FleetDriver::absorbEngineStats(const SynthEngine &engine)
     const SynthEngine::Stats s = engine.stats();
     restarts_run_.fetch_add(s.restarts_run);
     restarts_pruned_.fetch_add(s.restarts_pruned);
+    restarts_failed_.fetch_add(s.restarts_failed);
 }
 
 SynthEngine::Stats
@@ -472,6 +532,7 @@ FleetDriver::engineStats() const
     SynthEngine::Stats s;
     s.restarts_run = restarts_run_.load();
     s.restarts_pruned = restarts_pruned_.load();
+    s.restarts_failed = restarts_failed_.load();
     return s;
 }
 
@@ -484,10 +545,44 @@ FleetDriver::saveCache(const std::string &path)
 CacheIoResult
 FleetDriver::loadCache(const std::string &path)
 {
-    const CacheIoResult r = loadCacheSnapshot(path, cache_);
+    CacheIoResult r;
+    try {
+        Fnv64 path_hash;
+        path_hash.mixString(path);
+        faultPoint(kFaultFleetLoadCache, path_hash.h);
+        r = loadCacheSnapshot(path, cache_);
+    } catch (const FaultInjected &e) {
+        r.status = CacheIoStatus::Malformed;
+        r.message = e.what();
+    }
     if (r.ok()) {
         warm_base_hits_.store(cache_.hits());
         warm_base_misses_.store(cache_.misses());
+        return r;
+    }
+    if (r.status == CacheIoStatus::IoError)
+        return r; // Missing/unreadable file: ordinary cold start.
+
+    // The file exists but was rejected (corrupt, incompatible, or a
+    // forced fault): quarantine it so the next start does not trip
+    // over the same bytes, and fall back to a cold start. The rename
+    // preserves the evidence for offline inspection.
+    const std::string quarantine_path = path + ".quarantine";
+    const char *status_name = cacheIoStatusName(r.status);
+    if (std::rename(path.c_str(), quarantine_path.c_str()) == 0) {
+        warn("FleetDriver: quarantined rejected cache snapshot %s -> "
+             "%s (%s: %s); cold start",
+             path.c_str(), quarantine_path.c_str(), status_name,
+             r.message.c_str());
+    } else {
+        warn("FleetDriver: rejected cache snapshot %s (%s: %s) could "
+             "not be quarantined; cold start",
+             path.c_str(), status_name, r.message.c_str());
+    }
+    cache_quarantines_.fetch_add(1);
+    {
+        std::lock_guard<std::mutex> lock(health_mutex_);
+        last_cache_quarantine_ = status_name;
     }
     return r;
 }
@@ -617,6 +712,41 @@ FleetDriver::cycleReport(uint64_t cycle,
         absorbEngineStats(engine);
     });
     report.cache = cacheManifest();
+
+    // Failure-domain accounting (excluded from the bit-identical
+    // contract, like `cache`; deterministic for a fixed fault seed).
+    HealthReport &health = report.health;
+    const RecalibScheduler::Stats rs = recalibStats();
+    health.stage_retries = rs.retries;
+    health.contained_errors = rs.contained_errors;
+    health.quarantine_skipped = rs.quarantine_skipped;
+    health.synth_restarts_failed = restarts_failed_.load();
+    health.cache_quarantines = cache_quarantines_.load();
+    {
+        std::lock_guard<std::mutex> lock(health_mutex_);
+        health.last_cache_quarantine = last_cache_quarantine_;
+    }
+    if (recalib_)
+        health.quarantined = recalib_->quarantined();
+    for (EdgeQuarantine &quar : health.quarantined) {
+        // Staleness = report cycle minus the edge's last published
+        // calibration cycle, read from the snapshot captured above
+        // -- the quarantined edge still serves that basis.
+        const auto &edges =
+            report.devices.at(static_cast<size_t>(quar.device_id))
+                .edges;
+        for (const EdgeCalibration &edge : edges) {
+            if (edge.edge_id == quar.edge_id) {
+                quar.stale_cycles =
+                    cycle >= edge.calibrated_cycle
+                        ? cycle - edge.calibrated_cycle
+                        : 0;
+                break;
+            }
+        }
+        health.max_stale_cycles =
+            std::max(health.max_stale_cycles, quar.stale_cycles);
+    }
     return report;
 }
 

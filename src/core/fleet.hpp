@@ -25,8 +25,10 @@
  * Rng::deriveSeed(seed, device_id), independent of shard layout.
  */
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,6 +84,9 @@ struct FleetOptions
                                     ///< devices must share them to
                                     ///< share classes).
     TranspileOptions transpile;     ///< Circuit compilation options.
+    /** Failure-domain policy for async recalibration (retry budget,
+     *  quarantine length, containment on/off). */
+    RecalibPolicy recalib;
     double t_1q_ns = 20.0;
     double t_coherence_ns = 80e3;
 };
@@ -219,6 +224,46 @@ struct RecalibDeviceCycle
 };
 
 /**
+ * Failure-domain accounting of one serving fleet, reported per cycle.
+ *
+ * Like CacheManifest, this is *excluded* from the bit-identical
+ * contract over fault-free runs (recalibReportsBitIdentical ignores
+ * it); its own determinism contract is weaker but still exact: for a
+ * fixed fault seed, two runs produce bit-identical HealthReports
+ * (healthReportsBitIdentical / healthReportDigest).
+ */
+struct HealthReport
+{
+    /** Quarantined edges, sorted by (device, edge), with
+     *  stale_cycles filled in from the live snapshots (report cycle
+     *  minus the edge's last published calibration cycle). */
+    std::vector<EdgeQuarantine> quarantined;
+    uint64_t stage_retries = 0;      ///< Pipeline restarts (scheduler).
+    uint64_t contained_errors = 0;   ///< Tasks quarantined, not failed.
+    uint64_t quarantine_skipped = 0; ///< Jobs dropped in quarantine.
+    /** Synthesis restarts that threw and were contained as aborted
+     *  slots (summed over every engine the driver ran). */
+    uint64_t synth_restarts_failed = 0;
+    uint64_t cache_quarantines = 0;  ///< Snapshots renamed .quarantine.
+    /** CacheIoStatus name of the last quarantined snapshot (empty
+     *  when cache_quarantines == 0). */
+    std::string last_cache_quarantine;
+    /** Max stale_cycles over the quarantined edges (0 when none). */
+    uint64_t max_stale_cycles = 0;
+};
+
+/** Bitwise equality of two health reports -- the fixed-fault-seed
+ *  replay contract (fault-free runs trivially satisfy it with empty
+ *  reports). */
+bool healthReportsBitIdentical(const HealthReport &a,
+                               const HealthReport &b);
+
+/** FNV-64 digest over exactly the fields healthReportsBitIdentical
+ *  compares (defined beside it so the two can never drift apart);
+ *  bench_recalib --faults diffs this across replayed runs. */
+uint64_t healthReportDigest(const HealthReport &report);
+
+/**
  * Post-cycle report: the settled calibration state plus verification
  * compiles against the final published sets. This is the object the
  * determinism contract quantifies over -- for a fixed seed it is
@@ -234,6 +279,11 @@ struct RecalibCycleReport
      *  between a warm-started and a cold run that agree on every
      *  result. */
     CacheManifest cache;
+    /** Failure-domain accounting. Excluded from the bit-identical
+     *  contract like `cache` (fault-free runs keep it empty); gated
+     *  separately by healthReportsBitIdentical under a fixed fault
+     *  seed. */
+    HealthReport health;
 };
 
 /** Bitwise equality of two post-cycle reports (the CacheManifest is
@@ -350,6 +400,14 @@ class FleetDriver
      * to freshly synthesized ones and re-dress through the same
      * canonicalKakDecompose() path, so a warm compile pass reproduces
      * the cold pass exactly.
+     *
+     * Failure domain: a *rejected* snapshot (bad magic, version or
+     * quantum mismatch, truncation, checksum failure, malformed
+     * contents) is quarantined -- renamed to `path + ".quarantine"`,
+     * its CacheIoStatus logged and counted into the HealthReport --
+     * and the fleet falls back to a cold start instead of aborting.
+     * A missing/unreadable file (IoError) is a normal cold start and
+     * is not quarantined.
      */
     CacheIoResult loadCache(const std::string &path);
 
@@ -409,6 +467,11 @@ class FleetDriver
     std::unique_ptr<RecalibScheduler> recalib_;
     std::atomic<uint64_t> restarts_run_{0};
     std::atomic<uint64_t> restarts_pruned_{0};
+    std::atomic<uint64_t> restarts_failed_{0};
+    /** Snapshots loadCache() rejected and renamed to .quarantine. */
+    std::atomic<uint64_t> cache_quarantines_{0};
+    mutable std::mutex health_mutex_; ///< Guards the string below.
+    std::string last_cache_quarantine_;
     /** Cache counters at the last loadCache() (0 until then): the
      *  base of the warm-hit-rate window. */
     std::atomic<uint64_t> warm_base_hits_{0};

@@ -7,15 +7,24 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "linalg/mat4_kernels.hpp"
 #include "monodromy/depth.hpp"
 #include "synth/depth_cache.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace qbasis {
 
 namespace {
+
+/** A throwing restart is contained as an aborted slot. */
+const FaultSite kFaultSynthRestart("synth.restart");
+/** The phase-3b serial re-claim fallback after an owner abandoned. */
+const FaultSite kFaultSynthFallback("synth.fallback");
 
 /** Result slot of one restart in the current wave. */
 struct RestartSlot
@@ -23,6 +32,8 @@ struct RestartSlot
     std::vector<double> params;
     double infidelity = 1.0;
     bool aborted = false;
+    /** Set when the restart threw (contained, not job-fatal). */
+    std::exception_ptr error;
 };
 
 /** One Weyl-class synthesis running through depth waves. */
@@ -51,6 +62,11 @@ struct ClassJob
 
     TwoQubitDecomposition result;
     std::exception_ptr error;
+
+    // Contained per-restart failures, folded by reduceWave (which
+    // runs on one thread at a time, after every slot has settled).
+    uint64_t restarts_failed = 0;
+    std::exception_ptr first_restart_error;
 };
 
 /** Shared completion state of one synthesizeBatch() call. */
@@ -61,15 +77,17 @@ struct BatchState
     TaskPriority priority;
     std::atomic<uint64_t> &restarts_run;
     std::atomic<uint64_t> &restarts_pruned;
+    std::atomic<uint64_t> &restarts_failed;
     size_t jobs_remaining = 0; ///< Guarded by `mutex`.
     std::mutex mutex;
     std::condition_variable done_cv;
 
     BatchState(ThreadPool &p, const SynthOptions &o, TaskPriority pr,
                std::atomic<uint64_t> &run,
-               std::atomic<uint64_t> &pruned)
+               std::atomic<uint64_t> &pruned,
+               std::atomic<uint64_t> &failed)
         : pool(p), opts(o), priority(pr), restarts_run(run),
-          restarts_pruned(pruned)
+          restarts_pruned(pruned), restarts_failed(failed)
     {
     }
 
@@ -128,6 +146,7 @@ BatchState::launchWave(ClassJob &job)
 void
 BatchState::runRestart(ClassJob &job, int restart)
 {
+    RestartSlot &slot = job.slots[static_cast<size_t>(restart)];
     try {
         const auto should_stop = [&job, restart] {
             return job.min_success.load(std::memory_order_relaxed)
@@ -140,19 +159,25 @@ BatchState::runRestart(ClassJob &job, int restart)
         // pruned slots are marked aborted exactly as a cooperative
         // cancellation would have -- so results stay bit-identical.
         if (should_stop()) {
-            job.slots[static_cast<size_t>(restart)].aborted = true;
+            slot.aborted = true;
             restarts_pruned.fetch_add(1, std::memory_order_relaxed);
             if (job.remaining.fetch_sub(1) == 1)
                 reduceWave(job);
             return;
         }
         restarts_run.fetch_add(1, std::memory_order_relaxed);
+        // Keyed by logical identity (class, depth, restart index) so
+        // the fire decision replays across thread interleavings.
+        faultPoint(kFaultSynthRestart,
+                   Rng::deriveSeed(
+                       Rng::deriveSeed(job.key.context,
+                                       job.layers.size()),
+                       static_cast<uint64_t>(restart)));
         SynthRestartResult res = synthesizeRestart(
             job.class_gate, job.layers,
             synthRestartSeed(opts.seed, job.layers.size(), restart),
             opts, should_stop);
 
-        RestartSlot &slot = job.slots[static_cast<size_t>(restart)];
         slot.params = std::move(res.params);
         slot.infidelity = res.infidelity;
         slot.aborted = res.aborted;
@@ -166,7 +191,15 @@ BatchState::runRestart(ClassJob &job, int restart)
             }
         }
     } catch (...) {
-        recordError(job);
+        // Contain the failure to this slot: the restart is folded as
+        // aborted (exactly like a cooperative cancellation, so the
+        // winner rule is unchanged) and the wave keeps going. The job
+        // only fails if every restart of every wave fails.
+        slot.params.clear();
+        slot.infidelity = 1.0;
+        slot.aborted = true;
+        slot.error = std::current_exception();
+        restarts_failed.fetch_add(1, std::memory_order_relaxed);
     }
     if (job.remaining.fetch_sub(1) == 1)
         reduceWave(job);
@@ -196,9 +229,15 @@ BatchState::reduceWave(ClassJob &job)
         }
 
         // Failed wave: fold into the cross-depth best (strict-less
-        // with earliest-index tie-break, matching the serial loop).
+        // with earliest-index tie-break, matching the serial loop)
+        // and bank contained restart errors in index order.
         for (size_t r = 0; r < job.slots.size(); ++r) {
             RestartSlot &slot = job.slots[r];
+            if (slot.error) {
+                ++job.restarts_failed;
+                if (!job.first_restart_error)
+                    job.first_restart_error = slot.error;
+            }
             if (!slot.aborted
                 && slot.infidelity < job.best_infidelity) {
                 job.best_infidelity = slot.infidelity;
@@ -215,8 +254,27 @@ BatchState::reduceWave(ClassJob &job)
             return;
         }
 
-        if (job.best_params.empty())
+        if (job.best_params.empty()) {
+            if (job.restarts_failed > 0) {
+                // Every usable restart threw: surface one clean error
+                // for the whole job instead of the first raw
+                // exception (deterministic: first error in
+                // (wave, index) order).
+                std::string first = "unknown error";
+                try {
+                    std::rethrow_exception(job.first_restart_error);
+                } catch (const std::exception &e) {
+                    first = e.what();
+                } catch (...) {
+                }
+                std::ostringstream os;
+                os << "SynthEngine: all " << job.restarts_failed
+                   << " restarts failed for class (context="
+                   << job.key.context << "); first error: " << first;
+                throw std::runtime_error(os.str());
+            }
             panic("synthesis produced no candidate parameters");
+        }
         warn("SynthEngine: target not reached (best infidelity %.3e "
              "at %d layers)", job.best_infidelity, job.best_depth);
         job.layers.assign(static_cast<size_t>(job.best_depth),
@@ -300,12 +358,13 @@ runJobsOnPool(ThreadPool &pool, const SynthOptions &opts,
               std::vector<std::unique_ptr<ClassJob>> &jobs,
               TaskPriority priority,
               std::atomic<uint64_t> &restarts_run,
-              std::atomic<uint64_t> &restarts_pruned)
+              std::atomic<uint64_t> &restarts_pruned,
+              std::atomic<uint64_t> &restarts_failed)
 {
     if (jobs.empty())
         return;
     BatchState state(pool, opts, priority, restarts_run,
-                     restarts_pruned);
+                     restarts_pruned, restarts_failed);
     state.jobs_remaining = jobs.size();
     for (auto &job : jobs) {
         ClassJob *j = job.get();
@@ -351,6 +410,7 @@ SynthEngine::stats() const
     Stats s;
     s.restarts_run = restarts_run_.load();
     s.restarts_pruned = restarts_pruned_.load();
+    s.restarts_failed = restarts_failed_.load();
     s.mat4_backend = mat4BackendName(activeMat4Backend());
     return s;
 }
@@ -360,6 +420,7 @@ SynthEngine::resetStats()
 {
     restarts_run_.store(0);
     restarts_pruned_.store(0);
+    restarts_failed_.store(0);
 }
 
 std::vector<TwoQubitDecomposition>
@@ -404,7 +465,7 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     // completion order.
     prefetchDepthVerdicts(*pool_, opts, jobs);
     runJobsOnPool(*pool_, opts, jobs, priority, restarts_run_,
-                  restarts_pruned_);
+                  restarts_pruned_, restarts_failed_);
     for (auto &job : jobs)
         cache.storeClass(job->key, std::move(job->result));
     cache.noteHits(n - jobs.size());
@@ -460,6 +521,7 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     std::map<ClassKey, const TwoQubitDecomposition *> resolved;
     std::vector<ClassKey> pending;
     std::vector<std::unique_ptr<ClassJob>> jobs;
+    std::vector<ClaimGuard> guards; ///< Parallel to `jobs`.
     for (const ClassKey &key : order) {
         const TwoQubitDecomposition *dec = nullptr;
         switch (cache.acquire(key, device_id, lookups[key], &dec)) {
@@ -472,6 +534,7 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
             job->class_gate = DecompositionCache::classGate(key);
             job->basis = basis_of.at(key);
             jobs.push_back(std::move(job));
+            guards.emplace_back(&cache, key);
             break;
         }
         case SharedDecompositionCache::Claim::Pending:
@@ -481,20 +544,17 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     }
 
     // Phase 3: batch the depth-oracle verdicts for the owned jobs,
-    // then run them; publish in job order. On error, release every
-    // claim so concurrent waiters can take over.
-    try {
-        prefetchDepthVerdicts(*pool_, opts, jobs);
-        runJobsOnPool(*pool_, opts, jobs, priority, restarts_run_,
-                      restarts_pruned_);
-    } catch (...) {
-        for (const auto &job : jobs)
-            cache.abandon(job->key);
-        throw;
+    // then run them; publish in job order. The guards abandon every
+    // unpublished claim if this batch unwinds, so concurrent waiters
+    // wake and take over instead of blocking forever.
+    prefetchDepthVerdicts(*pool_, opts, jobs);
+    runJobsOnPool(*pool_, opts, jobs, priority, restarts_run_,
+                  restarts_pruned_, restarts_failed_);
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        resolved[jobs[j]->key] =
+            cache.publish(jobs[j]->key, std::move(jobs[j]->result));
+        guards[j].release();
     }
-    for (auto &job : jobs)
-        resolved[job->key] = cache.publish(job->key,
-                                           std::move(job->result));
 
     // Phase 3b: await classes owned by concurrent clients. This
     // thread must not be a pool worker (clients are shard threads),
@@ -510,17 +570,16 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
             switch (cache.acquire(key, device_id, 0, &dec)) {
             case SharedDecompositionCache::Claim::Ready:
                 break;
-            case SharedDecompositionCache::Claim::Owner:
-                try {
-                    dec = cache.publish(
-                        key, synthesizeGate(
-                                 DecompositionCache::classGate(key),
-                                 basis_of.at(key), opts));
-                } catch (...) {
-                    cache.abandon(key);
-                    throw;
-                }
+            case SharedDecompositionCache::Claim::Owner: {
+                ClaimGuard guard(&cache, key);
+                faultPoint(kFaultSynthFallback, key.context);
+                dec = cache.publish(
+                    key, synthesizeGate(
+                             DecompositionCache::classGate(key),
+                             basis_of.at(key), opts));
+                guard.release();
                 break;
+            }
             case SharedDecompositionCache::Claim::Pending:
                 dec = cache.wait(key, 0);
                 break;

@@ -112,6 +112,10 @@ class SynthEngine
          *  smaller-index restart of their wave had already reached
          *  the target (submission-time pruning). */
         uint64_t restarts_pruned = 0;
+        /** Restarts that threw and were contained as aborted slots
+         *  (the job fails only when every restart of every wave
+         *  fails; see the failure-model notes in the README). */
+        uint64_t restarts_failed = 0;
         /** Mat4 kernel backend the engine's synthesis math ran on
          *  ("scalar" or "avx2"; see linalg/mat4_kernels.hpp). */
         const char *mat4_backend = "";
@@ -132,6 +136,7 @@ class SynthEngine
     ThreadPool *pool_;
     std::atomic<uint64_t> restarts_run_{0};
     std::atomic<uint64_t> restarts_pruned_{0};
+    std::atomic<uint64_t> restarts_failed_{0};
 };
 
 /**

@@ -215,6 +215,66 @@ class SharedDecompositionCache
     std::atomic<uint64_t> misses_{0};
 };
 
+/**
+ * RAII holder for a Claim::Owner claim. If the claimant unwinds (a
+ * synthesis failure, an injected fault) before publishing, the
+ * destructor abandons the claim so waiters wake and one of them
+ * re-claims -- wait() can never block on a publisher that died.
+ * Call release() after a successful publish() to dismiss the guard.
+ */
+class ClaimGuard
+{
+  public:
+    ClaimGuard() = default;
+    ClaimGuard(SharedDecompositionCache *cache,
+               const SharedDecompositionCache::ClassKey &key)
+        : cache_(cache), key_(key)
+    {
+    }
+
+    ClaimGuard(const ClaimGuard &) = delete;
+    ClaimGuard &operator=(const ClaimGuard &) = delete;
+
+    ClaimGuard(ClaimGuard &&other) noexcept
+        : cache_(other.cache_), key_(other.key_)
+    {
+        other.cache_ = nullptr;
+    }
+
+    ClaimGuard &
+    operator=(ClaimGuard &&other) noexcept
+    {
+        if (this != &other) {
+            abandonIfHeld();
+            cache_ = other.cache_;
+            key_ = other.key_;
+            other.cache_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~ClaimGuard() { abandonIfHeld(); }
+
+    /** Dismiss the guard (the claim was published or handed off). */
+    void release() { cache_ = nullptr; }
+
+    /** True while the guard still owns an unpublished claim. */
+    bool held() const { return cache_ != nullptr; }
+
+  private:
+    void
+    abandonIfHeld()
+    {
+        if (cache_ != nullptr) {
+            cache_->abandon(key_);
+            cache_ = nullptr;
+        }
+    }
+
+    SharedDecompositionCache *cache_ = nullptr;
+    SharedDecompositionCache::ClassKey key_{};
+};
+
 } // namespace qbasis
 
 #endif // QBASIS_SYNTH_SHARED_CACHE_HPP

@@ -1,0 +1,167 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "util/fnv.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+namespace {
+
+/**
+ * Global injector state. The armed flag lives in a lone atomic so the
+ * disabled fast path costs one relaxed load; everything else sits
+ * behind a mutex taken only while a plan is armed (fault campaigns are
+ * test/bench-only, so the lock is not on any production hot path).
+ */
+struct Injector
+{
+    std::atomic<bool> armed{false};
+    std::mutex mu;
+    FaultPlan plan;
+    FaultStats stats;
+    /** Invocation counters keyed by (site hash, probe key). */
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> invocations;
+};
+
+Injector &
+injector()
+{
+    static Injector inj;
+    return inj;
+}
+
+/** Registry of site names; populated by FaultSite constructors. */
+struct SiteRegistry
+{
+    std::mutex mu;
+    std::vector<const char *> names;
+};
+
+SiteRegistry &
+siteRegistry()
+{
+    static SiteRegistry reg;
+    return reg;
+}
+
+uint64_t
+hashName(const char *name)
+{
+    Fnv64 f;
+    f.mixString(name);
+    return f.h;
+}
+
+} // namespace
+
+FaultInjected::FaultInjected(const std::string &site, uint64_t key,
+                             uint64_t invocation)
+    : std::runtime_error([&] {
+          std::ostringstream os;
+          os << "fault injected at " << site << " (key=" << key
+             << ", invocation=" << invocation << ")";
+          return os.str();
+      }()),
+      site_(site), key_(key), invocation_(invocation)
+{
+}
+
+FaultSite::FaultSite(const char *name)
+    : name_(name), name_hash_(hashName(name))
+{
+    SiteRegistry &reg = siteRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (const char *existing : reg.names)
+        if (std::string(existing) == name)
+            panic("duplicate fault site: %s", name);
+    reg.names.push_back(name);
+}
+
+void
+configureFaults(const FaultPlan &plan)
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mu);
+    inj.plan = plan;
+    inj.stats = FaultStats{};
+    inj.invocations.clear();
+    inj.armed.store(true, std::memory_order_release);
+}
+
+void
+disableFaults()
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mu);
+    inj.armed.store(false, std::memory_order_release);
+}
+
+bool
+faultsEnabled()
+{
+    return injector().armed.load(std::memory_order_acquire);
+}
+
+FaultStats
+faultStats()
+{
+    Injector &inj = injector();
+    std::lock_guard<std::mutex> lock(inj.mu);
+    return inj.stats;
+}
+
+std::vector<std::string>
+registeredFaultSites()
+{
+    SiteRegistry &reg = siteRegistry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::vector<std::string> names(reg.names.begin(), reg.names.end());
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+void
+faultPoint(const FaultSite &site, uint64_t key)
+{
+    Injector &inj = injector();
+    if (!inj.armed.load(std::memory_order_acquire))
+        return;
+
+    uint64_t invocation = 0;
+    {
+        std::lock_guard<std::mutex> lock(inj.mu);
+        if (!inj.armed.load(std::memory_order_relaxed))
+            return;
+        ++inj.stats.probes;
+        invocation = inj.invocations[{site.nameHash(), key}]++;
+
+        if (!inj.plan.site_filter.empty() &&
+            inj.plan.site_filter != site.name())
+            return;
+        if (inj.plan.max_fires != 0 &&
+            inj.stats.fired >= inj.plan.max_fires)
+            return;
+
+        // Pure function of (seed, site, key, invocation): chain the
+        // splitmix64 finalizer, then map the top 53 bits to [0, 1).
+        const uint64_t h = Rng::deriveSeed(
+            Rng::deriveSeed(Rng::deriveSeed(inj.plan.seed,
+                                            site.nameHash()),
+                            key),
+            invocation);
+        const double u =
+            static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (u >= inj.plan.probability)
+            return;
+        ++inj.stats.fired;
+    }
+    throw FaultInjected(site.name(), key, invocation);
+}
+
+} // namespace qbasis

@@ -1,0 +1,135 @@
+#ifndef QBASIS_UTIL_FAULT_HPP
+#define QBASIS_UTIL_FAULT_HPP
+
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * Every recoverable failure domain in the system (a recalibration
+ * stage, a synthesis restart, a snapshot load) hosts a named probe:
+ *
+ *     faultPoint(kFaultRecalibSimulate, edge_key);
+ *
+ * When injection is disabled (the default) a probe is a single relaxed
+ * atomic load — it never perturbs timing, numerics, or output, so
+ * fault-free runs are byte-identical to a build without probes.
+ *
+ * When a FaultPlan is armed, a probe's fire/no-fire decision is a pure
+ * function of (plan seed, site name, probe key, per-(site,key)
+ * invocation index). Logical identity — not thread identity or wall
+ * clock — keys the decision, so a faulted run replays bit-identically:
+ * the k-th attempt at a given (site, key) fires in every run or in
+ * none, regardless of scheduling. A firing probe throws FaultInjected,
+ * which then exercises the same unwind paths a real failure would.
+ *
+ * Sites self-register at static-initialization time through the
+ * FaultSite constructor, so tests can sweep every registered site
+ * without maintaining a parallel list.
+ */
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qbasis {
+
+/** Thrown by a firing probe; carries the site and key for reporting. */
+class FaultInjected : public std::runtime_error
+{
+  public:
+    FaultInjected(const std::string &site, uint64_t key,
+                  uint64_t invocation);
+
+    const std::string &site() const { return site_; }
+    uint64_t key() const { return key_; }
+    /** Zero-based invocation index at which the probe fired. */
+    uint64_t invocation() const { return invocation_; }
+
+  private:
+    std::string site_;
+    uint64_t key_ = 0;
+    uint64_t invocation_ = 0;
+};
+
+/**
+ * A named probe location. Define one per failure domain at namespace
+ * scope; the constructor registers the name in the global site
+ * registry (duplicate names are rejected with panic()).
+ */
+class FaultSite
+{
+  public:
+    explicit FaultSite(const char *name);
+
+    FaultSite(const FaultSite &) = delete;
+    FaultSite &operator=(const FaultSite &) = delete;
+
+    const char *name() const { return name_; }
+    /** Precomputed FNV-1a hash of the site name. */
+    uint64_t nameHash() const { return name_hash_; }
+
+  private:
+    const char *name_;
+    uint64_t name_hash_;
+};
+
+/** Configuration for one armed injection campaign. */
+struct FaultPlan
+{
+    /** Base seed; the sole source of randomness for fire decisions. */
+    uint64_t seed = 0;
+
+    /** Per-invocation fire probability in [0, 1]. */
+    double probability = 0.0;
+
+    /**
+     * When non-empty, only the site with this exact name fires;
+     * probes at other sites count invocations but never fire.
+     */
+    std::string site_filter;
+
+    /**
+     * When non-zero, at most this many probes fire campaign-wide.
+     * Deterministic only when the probes it gates are totally ordered
+     * (e.g. a single-threaded engine); sweeping tests use it to inject
+     * exactly one fault.
+     */
+    uint64_t max_fires = 0;
+};
+
+/** Counters accumulated since the last configure()/disable(). */
+struct FaultStats
+{
+    uint64_t probes = 0; ///< Probe invocations while armed.
+    uint64_t fired = 0;  ///< Probes that threw FaultInjected.
+};
+
+/** Arm fault injection with the given plan; resets all counters. */
+void configureFaults(const FaultPlan &plan);
+
+/** Disarm fault injection; probes return to the single-load fast path. */
+void disableFaults();
+
+/** True when a plan is armed. */
+bool faultsEnabled();
+
+/** Counters for the current (or most recent) campaign. */
+FaultStats faultStats();
+
+/** Names of every registered site, sorted (stable across runs). */
+std::vector<std::string> registeredFaultSites();
+
+/**
+ * The probe. No-op unless a plan is armed and the decision function
+ * fires for this (site, key, invocation); then throws FaultInjected.
+ *
+ * `key` must encode the *logical* identity of the protected work item
+ * (an edge id, a synthesis-class hash) so the invocation index is
+ * stable across thread interleavings.
+ */
+void faultPoint(const FaultSite &site, uint64_t key);
+
+} // namespace qbasis
+
+#endif // QBASIS_UTIL_FAULT_HPP

@@ -180,6 +180,7 @@ TEST_F(ProtocolTest, RetuneTracksDrift)
 
     const RetuneResult r =
         retune(drifted, tuneup, GstOptions{}, rng);
+    ASSERT_TRUE(r.success);
     EXPECT_DOUBLE_EQ(r.duration_ns, tuneup.duration_ns);
     // The refreshed gate stays close to the tuneup gate (drift is
     // slow) but is not identical.
@@ -188,6 +189,21 @@ TEST_F(ProtocolTest, RetuneTracksDrift)
     // And it still satisfies the criterion.
     EXPECT_TRUE(criterionSatisfied(SelectionCriterion::Criterion1,
                                    cartanCoords(r.gate), 1e-6));
+}
+
+TEST_F(ProtocolTest, RetuneAfterFailedTuneupReturnsFailedResult)
+{
+    // A failed initial tuneup must produce a failed, status-carrying
+    // RetuneResult (not abort the process): the async scheduler's
+    // retry/quarantine path owns the failure.
+    Rng rng(11);
+    TuneupResult failed;
+    failed.success = false;
+    const RetuneResult r = retune(sim(), failed, GstOptions{}, rng);
+    EXPECT_FALSE(r.success);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_EQ(r.omega_d, 0.0);
+    EXPECT_EQ(r.gate_shift, 0.0);
 }
 
 TEST(Protocol, FailsGracefullyOnShortWindow)

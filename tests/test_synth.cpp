@@ -17,6 +17,7 @@
 #include "synth/engine.hpp"
 #include "synth/numerical.hpp"
 #include "synth/textbook.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "weyl/cartan.hpp"
 #include "weyl/gates.hpp"
@@ -444,6 +445,69 @@ TEST(Engine, ReusesWarmCacheAcrossBatches)
     EXPECT_GE(cache.hits(), reqs.size());
 }
 
+
+/** Arms fault injection for one test scope; disarms on exit. */
+struct ScopedFaults
+{
+    explicit ScopedFaults(const FaultPlan &plan)
+    {
+        configureFaults(plan);
+    }
+    ~ScopedFaults() { disableFaults(); }
+};
+
+TEST(EngineFaults, OneBadRestartDoesNotKillTheBatch)
+{
+    // A deliberately-throwing restart (injected at the synth.restart
+    // probe) is contained as an aborted slot: the remaining restarts
+    // of the wave still synthesize the class and the batch succeeds.
+    FaultPlan plan;
+    plan.seed = 1234;
+    plan.probability = 1.0;
+    plan.site_filter = "synth.restart";
+    plan.max_fires = 1; // deterministic: single-threaded engine
+    ScopedFaults faults(plan);
+
+    const SynthOptions o = fastSynth();
+    SynthEngine engine(1);
+    DecompositionCache cache;
+    const std::vector<SynthRequest> reqs{
+        {0, swapGate(), sqrtIswapGate()}};
+    std::vector<TwoQubitDecomposition> out;
+    ASSERT_NO_THROW(out = engine.synthesizeBatch(reqs, cache, o));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_LT(traceInfidelity(out[0].reconstruct(), swapGate()),
+              1e-7);
+    EXPECT_EQ(engine.stats().restarts_failed, 1u);
+    EXPECT_EQ(faultStats().fired, 1u);
+}
+
+TEST(EngineFaults, AllRestartsFailSurfacesOneCleanError)
+{
+    // When every restart of every wave throws, the job fails with a
+    // single clean runtime_error (not the raw first exception, not a
+    // panic about missing candidates).
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.probability = 1.0;
+    plan.site_filter = "synth.restart";
+    ScopedFaults faults(plan);
+
+    const SynthOptions o = fastSynth();
+    SynthEngine engine(2);
+    DecompositionCache cache;
+    const std::vector<SynthRequest> reqs{
+        {0, swapGate(), sqrtIswapGate()}};
+    try {
+        engine.synthesizeBatch(reqs, cache, o);
+        FAIL() << "expected an all-restarts-failed error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("restarts failed"),
+                  std::string::npos)
+            << "unexpected message: " << e.what();
+    }
+    EXPECT_GT(engine.stats().restarts_failed, 0u);
+}
 
 TEST(SynthSequence, CnotPlusIswapMakesSwapInTwoLayers)
 {
