@@ -1,0 +1,760 @@
+/**
+ * @file
+ * Serving benchmark: a long-lived CompileService under an open-loop
+ * client (fixed-seed exponential interarrivals over a fixed request
+ * mix), reporting sustained throughput and queue+compile latency
+ * percentiles (p50/p95/p99). Emits BENCH_serve.json for the CI bench
+ * gate (scripts/check_bench.py).
+ *
+ * Beyond the latency numbers, the run gates the serving contracts
+ * through its exit code:
+ *
+ *  - **Determinism.** A fixed request set served serially and then
+ *    twice concurrently (shuffled arrival order, several client
+ *    threads) must produce bit-identical per-request responses
+ *    (compileResponseDigest) at the same basis epoch.
+ *  - **Epoch swap.** Recalibrating an edge mid-stream must never
+ *    block or fail traffic; after the drain, responses carry the new
+ *    epoch and their digests legitimately change.
+ *  - **Admission.** A burst beyond queue capacity must degrade to
+ *    CompileStatus::Rejected responses -- every future resolves,
+ *    nothing hangs (the CI ctest/step timeout is the backstop).
+ *
+ * Usage: bench_serve [--quick|--smoke] [--threads N] [--faults [seed]]
+ *
+ * --faults arms the deterministic fault registry twice over the same
+ * plan on the `serve.admit` site (keyed by request fingerprint, so
+ * the admit/reject pattern is a pure function of the plan) and
+ * replays the stream under two different client interleavings: the
+ * per-request status pattern and all served digests must match
+ * bit-for-bit. A second phase quarantines every edge (recalib.simulate
+ * at p=1.0) and asserts traffic keeps being served Ok from the
+ * last-good bases at an unchanged epoch.
+ *
+ * JSON schema (BENCH_serve.json):
+ * {
+ *   "quick": bool, "smoke": bool, "threads": int,
+ *   "service": { "devices": int, "dispatchers": int,
+ *                "max_batch": int, "queue_capacity": int },
+ *   "open_loop": { "requests": int, "offered_rps": double,
+ *                  "wall_ms": double, "throughput_rps": double,
+ *                  "p50_ms": double, "p95_ms": double,
+ *                  "p99_ms": double, "max_queue_depth": int,
+ *                  "batches": int },
+ *   "admission": { "burst": int, "served": int, "rejected": int,
+ *                  "all_resolved": bool },
+ *   "determinism": { "requests": int, "interleavings": int,
+ *                    "bit_identical": bool },
+ *   "epoch_swap": { "old_epoch": int, "new_epoch": int,
+ *                   "served_during_swap": bool,
+ *                   "digest_changed": bool },
+ *   "faults": { "seed": int, "probability": double,
+ *               "admit_rejected": int, "replay_identical": bool,
+ *               "quarantined_served_ok": bool }       // --faults only
+ * }
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/bv.hpp"
+#include "apps/qaoa.hpp"
+#include "apps/qft.hpp"
+#include "calib/drift.hpp"
+#include "serve/compile_service.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+using namespace qbasis;
+
+namespace {
+
+/** Bench-scale synthesis settings (cheap but converging). */
+SynthOptions
+benchSynth()
+{
+    SynthOptions s;
+    s.restarts = 3;
+    s.adam_iters = 350;
+    s.polish_iters = 120;
+    s.max_layers = 4;
+    s.target_infidelity = 1e-8;
+    return s;
+}
+
+struct BenchConfig
+{
+    int devices = 3;
+    int requests = 120;          ///< Open-loop arrivals.
+    double mean_interarrival_ms = 2.0;
+    int threads = 0;
+    uint64_t arrival_seed = 777;
+};
+
+CompileServiceOptions
+benchServiceOptions(const BenchConfig &cfg)
+{
+    CompileServiceOptions opts;
+    opts.fleet.shards = cfg.devices;
+    opts.fleet.threads = cfg.threads;
+    opts.fleet.synth = benchSynth();
+    opts.fleet.calib.edge_limit = 1;
+    // Bench-scale simulator settings (as bench_recalib): keep the
+    // one-off calibration cheap relative to the serving phases.
+    opts.fleet.calib.sim.dt = 0.01;
+    opts.fleet.calib.sim.probe_dt = 0.04;
+    opts.fleet.calib.sim.probe_duration = 60.0;
+    opts.fleet.calib.sim.drive_scan_points = 7;
+    opts.queue_capacity = 256;
+    opts.dispatchers = 3;
+    opts.max_batch = 8;
+    return opts;
+}
+
+std::vector<FleetDeviceSpec>
+benchFleet(int devices)
+{
+    std::vector<FleetDeviceSpec> specs;
+    specs.reserve(static_cast<size_t>(devices));
+    for (int d = 0; d < devices; ++d) {
+        FleetDeviceSpec spec;
+        spec.grid.rows = 2;
+        spec.grid.cols = 2;
+        spec.grid.seed = 31 + static_cast<uint64_t>(d);
+        spec.xi = 0.04;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+/** The fixed request mix every phase replays (ids are 1-based). */
+std::vector<CompileRequest>
+requestMix(int devices, int count)
+{
+    std::vector<Circuit> circuits;
+    std::vector<std::string> names;
+    circuits.push_back(qftCircuit(2)); names.push_back("qft2");
+    circuits.push_back(qftCircuit(3)); names.push_back("qft3");
+    circuits.push_back(qftCircuit(4)); names.push_back("qft4");
+    circuits.push_back(bvAllOnesCircuit(3)); names.push_back("bv3");
+    QaoaParams qp;
+    qp.gamma = 0.4;
+    qp.beta = 0.25;
+    circuits.push_back(qaoaErdosRenyiCircuit(4, 0.5, qp));
+    names.push_back("qaoa4");
+
+    std::vector<CompileRequest> reqs;
+    reqs.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        const size_t c = static_cast<size_t>(i) % circuits.size();
+        reqs.emplace_back(static_cast<uint64_t>(i + 1), i % devices,
+                          names[c], circuits[c]);
+    }
+    return reqs;
+}
+
+/** Submit every request from `threads` clients in `order`; gather. */
+std::vector<CompileResponse>
+submitConcurrently(CompileService &service,
+                   const std::vector<CompileRequest> &reqs,
+                   const std::vector<size_t> &order, int threads)
+{
+    std::vector<std::future<CompileResponse>> futures(reqs.size());
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            for (size_t i = static_cast<size_t>(t); i < order.size();
+                 i += static_cast<size_t>(threads)) {
+                const size_t r = order[i];
+                futures[r] = service.submit(reqs[r]);
+            }
+        });
+    }
+    for (std::thread &c : clients)
+        c.join();
+    std::vector<CompileResponse> responses;
+    responses.reserve(reqs.size());
+    for (auto &f : futures)
+        responses.push_back(f.get());
+    return responses;
+}
+
+std::vector<size_t>
+identityOrder(size_t n)
+{
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i)
+        order[i] = i;
+    return order;
+}
+
+// --- Open-loop phase ------------------------------------------------
+
+struct OpenLoopResult
+{
+    int requests = 0;
+    double offered_rps = 0.0;
+    double wall_ms = 0.0;
+    double throughput_rps = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    uint64_t max_queue_depth = 0;
+    uint64_t batches = 0;
+    bool all_ok = false;
+};
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/**
+ * Open-loop client: arrivals at fixed-seed exponential interarrival
+ * times, independent of service-side progress (a closed loop would
+ * hide queueing under load). Latency is the response's own
+ * queue_ms + compile_ms, so the numbers survive scheduling noise in
+ * the submitting thread.
+ */
+OpenLoopResult
+runOpenLoop(CompileService &service, const BenchConfig &cfg)
+{
+    const std::vector<CompileRequest> reqs =
+        requestMix(cfg.devices, cfg.requests);
+
+    // Warm pass (untimed): a live service has synthesized its
+    // steady-state Weyl classes; the open loop measures serving, not
+    // one-off cold synthesis.
+    for (const CompileRequest &req : reqs)
+        service.compileSync(req);
+    const CompileServiceStats warm = service.stats();
+
+    Rng rng(cfg.arrival_seed);
+    std::vector<double> arrival_ms(reqs.size());
+    double t = 0.0;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        t += -cfg.mean_interarrival_ms
+             * std::log(1.0 - rng.uniform());
+        arrival_ms[i] = t;
+    }
+
+    std::vector<std::future<CompileResponse>> futures(reqs.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const auto due = start
+                         + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double, std::milli>(
+                                 arrival_ms[i]));
+        std::this_thread::sleep_until(due);
+        futures[i] = service.submit(reqs[i]);
+    }
+
+    OpenLoopResult r;
+    r.all_ok = true;
+    std::vector<double> latencies;
+    latencies.reserve(reqs.size());
+    for (auto &f : futures) {
+        const CompileResponse resp = f.get();
+        if (resp.status != CompileStatus::Ok)
+            r.all_ok = false;
+        latencies.push_back(resp.queue_ms + resp.compile_ms);
+    }
+    const auto end = std::chrono::steady_clock::now();
+    r.wall_ms = std::chrono::duration<double, std::milli>(end - start)
+                    .count();
+    r.requests = static_cast<int>(reqs.size());
+    r.offered_rps = 1000.0 / cfg.mean_interarrival_ms;
+    r.throughput_rps = r.wall_ms > 0.0 ? 1000.0
+                                             * static_cast<double>(
+                                                 reqs.size())
+                                             / r.wall_ms
+                                       : 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    r.p50_ms = percentile(latencies, 0.50);
+    r.p95_ms = percentile(latencies, 0.95);
+    r.p99_ms = percentile(latencies, 0.99);
+    const CompileServiceStats stats = service.stats();
+    r.max_queue_depth = stats.max_queue_depth;
+    r.batches = stats.batches - warm.batches;
+    return r;
+}
+
+// --- Admission phase ------------------------------------------------
+
+struct AdmissionResult
+{
+    int burst = 0;
+    int served = 0;
+    int rejected = 0;
+    bool all_resolved = false;
+};
+
+/**
+ * Saturate a deliberately tiny service (1-deep queue, one
+ * dispatcher): a cold compile pins the dispatcher while a burst lands
+ * in microseconds, so the overflow must come back as Rejected
+ * responses -- and every future must resolve.
+ */
+AdmissionResult
+runAdmissionBurst(const BenchConfig &cfg)
+{
+    CompileServiceOptions opts = benchServiceOptions(cfg);
+    opts.queue_capacity = 1;
+    opts.dispatchers = 1;
+    opts.max_batch = 1;
+    CompileService service(opts);
+    service.start(benchFleet(1));
+
+    AdmissionResult r;
+    std::vector<std::future<CompileResponse>> futures;
+    futures.push_back(
+        service.submit(CompileRequest(1, 0, "qft4", qftCircuit(4))));
+    for (uint64_t id = 2; id <= 24; ++id) {
+        futures.push_back(service.submit(
+            CompileRequest(id, 0, "qft2", qftCircuit(2))));
+    }
+    r.burst = static_cast<int>(futures.size());
+    r.all_resolved = true;
+    for (auto &f : futures) {
+        const CompileResponse resp = f.get();
+        if (resp.status == CompileStatus::Rejected)
+            ++r.rejected;
+        else if (resp.status == CompileStatus::Ok)
+            ++r.served;
+        else
+            r.all_resolved = false; // Failed: not an admission outcome
+    }
+    service.stop();
+    return r;
+}
+
+// --- Determinism + epoch-swap phases --------------------------------
+
+struct DeterminismResult
+{
+    int requests = 0;
+    int interleavings = 0;
+    bool bit_identical = false;
+};
+
+DeterminismResult
+runDeterminism(CompileService &service, const BenchConfig &cfg)
+{
+    const std::vector<CompileRequest> reqs =
+        requestMix(cfg.devices, std::min(cfg.requests, 24));
+    DeterminismResult r;
+    r.requests = static_cast<int>(reqs.size());
+    r.bit_identical = true;
+
+    std::map<uint64_t, uint64_t> serial;
+    for (const CompileRequest &req : reqs) {
+        const CompileResponse resp = service.compileSync(req);
+        if (resp.status != CompileStatus::Ok) {
+            r.bit_identical = false;
+            return r;
+        }
+        serial[resp.request_id] = compileResponseDigest(resp);
+    }
+    for (const uint64_t shuffle_seed : {1u, 2u}) {
+        std::vector<size_t> order = identityOrder(reqs.size());
+        Rng rng(shuffle_seed);
+        rng.shuffle(order);
+        const std::vector<CompileResponse> responses =
+            submitConcurrently(service, reqs, order, 4);
+        ++r.interleavings;
+        for (const CompileResponse &resp : responses) {
+            if (resp.status != CompileStatus::Ok
+                || compileResponseDigest(resp)
+                       != serial[resp.request_id])
+                r.bit_identical = false;
+        }
+    }
+    return r;
+}
+
+struct EpochSwapResult
+{
+    uint64_t old_epoch = 0;
+    uint64_t new_epoch = 0;
+    bool served_during_swap = false;
+    bool digest_changed = false;
+};
+
+/**
+ * Retune device 0's edge 0 with drifted parameters while a shuffled
+ * stream is in flight: traffic must keep resolving Ok (from the old
+ * or new snapshot), and after the drain the same requests must carry
+ * the new epoch with changed digests.
+ */
+EpochSwapResult
+runEpochSwap(CompileService &service, const BenchConfig &cfg)
+{
+    const std::vector<CompileRequest> reqs =
+        requestMix(cfg.devices, std::min(cfg.requests, 24));
+    EpochSwapResult r;
+    r.old_epoch = service.basisEpoch(0);
+
+    std::map<uint64_t, uint64_t> before;
+    for (const CompileRequest &req : reqs) {
+        const CompileResponse resp = service.compileSync(req);
+        if (resp.status != CompileStatus::Ok)
+            return r;
+        before[resp.request_id] = compileResponseDigest(resp);
+    }
+
+    const DriftModel model{1e-4, 5e-3};
+    RecalibEdgeRequest retune;
+    retune.device_id = 0;
+    retune.edge_id = 0;
+    retune.cycle = 1;
+    retune.params = driftParamsAt(
+        service.driver().device(0).device.edgeParams(0), model,
+        cfg.arrival_seed, 0, 1);
+    service.recalibrate({retune});
+
+    std::vector<size_t> order = identityOrder(reqs.size());
+    Rng rng(3);
+    rng.shuffle(order);
+    const std::vector<CompileResponse> mid =
+        submitConcurrently(service, reqs, order, 4);
+    r.served_during_swap = true;
+    for (const CompileResponse &resp : mid)
+        if (resp.status != CompileStatus::Ok)
+            r.served_during_swap = false;
+    service.drainRecalibration();
+    r.new_epoch = service.basisEpoch(0);
+
+    r.digest_changed = r.new_epoch == r.old_epoch + 1;
+    for (const CompileRequest &req : reqs) {
+        const CompileResponse resp = service.compileSync(req);
+        if (resp.status != CompileStatus::Ok)
+            return r;
+        const bool changed =
+            compileResponseDigest(resp) != before[resp.request_id];
+        // Device-0 responses must change (the epoch is part of the
+        // digest); other devices must not.
+        if ((req.device_id == 0) != changed)
+            r.digest_changed = false;
+    }
+    return r;
+}
+
+// --- Faulted phases (--faults) --------------------------------------
+
+struct FaultBench
+{
+    FaultPlan plan;
+    int admit_rejected = 0;
+    bool replay_identical = false;
+    bool quarantined_served_ok = false;
+};
+
+/** Disarms the fault registry on scope exit. */
+struct FaultScope
+{
+    explicit FaultScope(const FaultPlan &plan)
+    {
+        configureFaults(plan);
+    }
+    ~FaultScope() { disableFaults(); }
+};
+
+/**
+ * Degraded-mode drills. First, the serve.admit replay pair: the same
+ * plan over the same request set under two different client
+ * interleavings must shed the same requests and serve the rest
+ * bit-identically. Second, total recalibration failure: with
+ * recalib.simulate firing at p=1.0 every retune quarantines, and
+ * traffic must keep being served Ok from the last-good bases at an
+ * unchanged epoch.
+ */
+FaultBench
+runFaulted(CompileService &service, const BenchConfig &cfg,
+           uint64_t seed)
+{
+    FaultBench fb;
+    fb.plan.seed = seed;
+    fb.plan.probability = 0.4;
+    fb.plan.site_filter = "serve.admit";
+    const std::vector<CompileRequest> reqs =
+        requestMix(cfg.devices, std::min(cfg.requests, 24));
+    std::vector<size_t> order = identityOrder(reqs.size());
+
+    std::vector<CompileResponse> first, second;
+    {
+        const FaultScope scope(fb.plan);
+        first = submitConcurrently(service, reqs, order, 4);
+    }
+    std::reverse(order.begin(), order.end());
+    {
+        const FaultScope scope(fb.plan); // re-arm: counters reset
+        second = submitConcurrently(service, reqs, order, 2);
+    }
+    fb.replay_identical = true;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        if (first[i].status != second[i].status)
+            fb.replay_identical = false;
+        if (first[i].status == CompileStatus::Rejected)
+            ++fb.admit_rejected;
+        else if (compileResponseDigest(first[i])
+                 != compileResponseDigest(second[i]))
+            fb.replay_identical = false;
+    }
+    // A p=0.4 plan over >= 20 requests that sheds nothing (or
+    // everything) means the site is not firing per-request.
+    if (fb.admit_rejected == 0
+        || fb.admit_rejected == static_cast<int>(reqs.size()))
+        fb.replay_identical = false;
+
+    // Quarantine drill: every retune dies, service keeps serving.
+    const uint64_t epoch_before = service.basisEpoch(0);
+    {
+        FaultPlan quarantine;
+        quarantine.seed = seed;
+        quarantine.probability = 1.0;
+        quarantine.site_filter = "recalib.simulate";
+        const FaultScope scope(quarantine);
+        const DriftModel model{1e-4, 5e-3};
+        std::vector<RecalibEdgeRequest> retunes;
+        for (int d = 0; d < cfg.devices; ++d) {
+            RecalibEdgeRequest retune;
+            retune.device_id = d;
+            retune.edge_id = 0;
+            retune.cycle = 2;
+            retune.params = driftParamsAt(
+                service.driver().device(d).device.edgeParams(0),
+                model, seed, 0, 2);
+            retunes.push_back(std::move(retune));
+        }
+        service.recalibrate(retunes);
+        service.drainRecalibration(); // contained: must not throw
+    }
+    fb.quarantined_served_ok =
+        service.basisEpoch(0) == epoch_before;
+    for (const CompileRequest &req : reqs) {
+        const CompileResponse resp = service.compileSync(req);
+        if (resp.status != CompileStatus::Ok
+            || resp.basis_epoch
+                   != service.basisEpoch(req.device_id))
+            fb.quarantined_served_ok = false;
+    }
+    return fb;
+}
+
+void
+writeJson(const char *path, bool quick, bool smoke,
+          const BenchConfig &cfg, const CompileServiceOptions &sopts,
+          const OpenLoopResult &open, const AdmissionResult &adm,
+          const DeterminismResult &det, const EpochSwapResult &swap,
+          const FaultBench *faults)
+{
+    FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        warn("bench_serve: cannot write %s", path);
+        return;
+    }
+    std::fprintf(
+        f,
+        "{\n  \"quick\": %s,\n  \"smoke\": %s,\n"
+        "  \"threads\": %d,\n"
+        "  \"service\": {\n"
+        "    \"devices\": %d,\n"
+        "    \"dispatchers\": %d,\n"
+        "    \"max_batch\": %zu,\n"
+        "    \"queue_capacity\": %zu\n  },\n"
+        "  \"open_loop\": {\n"
+        "    \"requests\": %d,\n"
+        "    \"offered_rps\": %.1f,\n"
+        "    \"wall_ms\": %.3f,\n"
+        "    \"throughput_rps\": %.2f,\n"
+        "    \"p50_ms\": %.3f,\n"
+        "    \"p95_ms\": %.3f,\n"
+        "    \"p99_ms\": %.3f,\n"
+        "    \"max_queue_depth\": %llu,\n"
+        "    \"batches\": %llu\n  },\n"
+        "  \"admission\": {\n"
+        "    \"burst\": %d,\n"
+        "    \"served\": %d,\n"
+        "    \"rejected\": %d,\n"
+        "    \"all_resolved\": %s\n  },\n"
+        "  \"determinism\": {\n"
+        "    \"requests\": %d,\n"
+        "    \"interleavings\": %d,\n"
+        "    \"bit_identical\": %s\n  },\n"
+        "  \"epoch_swap\": {\n"
+        "    \"old_epoch\": %llu,\n"
+        "    \"new_epoch\": %llu,\n"
+        "    \"served_during_swap\": %s,\n"
+        "    \"digest_changed\": %s\n  }",
+        quick ? "true" : "false", smoke ? "true" : "false",
+        cfg.threads, cfg.devices, sopts.dispatchers, sopts.max_batch,
+        sopts.queue_capacity, open.requests, open.offered_rps,
+        open.wall_ms, open.throughput_rps, open.p50_ms, open.p95_ms,
+        open.p99_ms,
+        static_cast<unsigned long long>(open.max_queue_depth),
+        static_cast<unsigned long long>(open.batches), adm.burst,
+        adm.served, adm.rejected, adm.all_resolved ? "true" : "false",
+        det.requests, det.interleavings,
+        det.bit_identical ? "true" : "false",
+        static_cast<unsigned long long>(swap.old_epoch),
+        static_cast<unsigned long long>(swap.new_epoch),
+        swap.served_during_swap ? "true" : "false",
+        swap.digest_changed ? "true" : "false");
+    if (faults != nullptr) {
+        std::fprintf(
+            f,
+            ",\n  \"faults\": {\n"
+            "    \"seed\": %llu,\n"
+            "    \"probability\": %.2f,\n"
+            "    \"admit_rejected\": %d,\n"
+            "    \"replay_identical\": %s,\n"
+            "    \"quarantined_served_ok\": %s\n  }",
+            static_cast<unsigned long long>(faults->plan.seed),
+            faults->plan.probability, faults->admit_rejected,
+            faults->replay_identical ? "true" : "false",
+            faults->quarantined_served_ok ? "true" : "false");
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    bool smoke = false;
+    bool with_faults = false;
+    uint64_t fault_seed = 2022;
+    BenchConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--threads") == 0
+                 && i + 1 < argc)
+            cfg.threads = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--faults") == 0) {
+            with_faults = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                fault_seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_serve [--quick|--smoke] "
+                         "[--threads N] [--faults [seed]]\n");
+            return 2;
+        }
+    }
+
+    setLogLevel(LogLevel::Warn);
+    std::printf("=== bench_serve: CompileService under open-loop "
+                "load ===\n");
+    std::printf("mode: %s\n",
+                smoke ? "smoke" : quick ? "quick" : "full");
+
+    if (smoke) {
+        cfg.devices = 2;
+        cfg.requests = 30;
+        cfg.mean_interarrival_ms = 2.0;
+    } else if (quick) {
+        cfg.devices = 2;
+        cfg.requests = 80;
+        cfg.mean_interarrival_ms = 2.0;
+    }
+
+    const CompileServiceOptions sopts = benchServiceOptions(cfg);
+    CompileService service(sopts);
+    std::printf("[start] calibrating %d devices...\n", cfg.devices);
+    service.start(benchFleet(cfg.devices));
+
+    std::printf("[open-loop] %d requests, mean interarrival %.1f ms "
+                "(%.0f rps offered)...\n",
+                cfg.requests, cfg.mean_interarrival_ms,
+                1000.0 / cfg.mean_interarrival_ms);
+    const OpenLoopResult open = runOpenLoop(service, cfg);
+
+    std::printf("[determinism] serial vs concurrent shuffled "
+                "replays...\n");
+    const DeterminismResult det = runDeterminism(service, cfg);
+
+    std::printf("[epoch-swap] retune mid-stream, drain, replay...\n");
+    const EpochSwapResult swap = runEpochSwap(service, cfg);
+
+    FaultBench fault_bench;
+    if (with_faults) {
+        std::printf("[faults] serve.admit replay pair (seed %llu) + "
+                    "full quarantine drill...\n",
+                    static_cast<unsigned long long>(fault_seed));
+        fault_bench = runFaulted(service, cfg, fault_seed);
+    }
+    service.stop();
+
+    std::printf("[admission] 1-deep queue, burst of 24...\n");
+    const AdmissionResult adm = runAdmissionBurst(cfg);
+
+    std::printf("\nrequests: %d (all ok: %s)\n", open.requests,
+                open.all_ok ? "yes" : "NO");
+    std::printf("throughput: %.1f rps (offered %.0f)\n",
+                open.throughput_rps, open.offered_rps);
+    std::printf("latency p50/p95/p99: %.2f / %.2f / %.2f ms\n",
+                open.p50_ms, open.p95_ms, open.p99_ms);
+    std::printf("queue high-water %llu, dispatch batches %llu\n",
+                static_cast<unsigned long long>(open.max_queue_depth),
+                static_cast<unsigned long long>(open.batches));
+    std::printf("admission burst %d: served %d, rejected %d, all "
+                "resolved: %s\n", adm.burst, adm.served, adm.rejected,
+                adm.all_resolved ? "yes" : "NO");
+    std::printf("determinism (%d requests x %d interleavings): %s\n",
+                det.requests, det.interleavings,
+                det.bit_identical ? "bit-identical" : "MISMATCH");
+    std::printf("epoch swap %llu -> %llu: served during swap: %s, "
+                "digests changed: %s\n",
+                static_cast<unsigned long long>(swap.old_epoch),
+                static_cast<unsigned long long>(swap.new_epoch),
+                swap.served_during_swap ? "yes" : "NO",
+                swap.digest_changed ? "yes" : "NO");
+    if (with_faults) {
+        std::printf("[faults] admit rejected %d/%d; replay: %s; "
+                    "quarantined fleet served ok: %s\n",
+                    fault_bench.admit_rejected, det.requests,
+                    fault_bench.replay_identical ? "bit-identical"
+                                                 : "MISMATCH",
+                    fault_bench.quarantined_served_ok ? "yes" : "NO");
+    }
+
+    writeJson("BENCH_serve.json", quick, smoke, cfg, sopts, open, adm,
+              det, swap, with_faults ? &fault_bench : nullptr);
+
+    bool ok = open.all_ok && det.bit_identical
+              && swap.served_during_swap && swap.digest_changed
+              && adm.all_resolved && adm.rejected >= 1
+              && adm.served >= 1;
+    if (with_faults
+        && !(fault_bench.replay_identical
+             && fault_bench.quarantined_served_ok)) {
+        std::printf("FAIL: degraded-mode serving contract violated\n");
+        ok = false;
+    }
+    if (!ok)
+        std::printf("FAIL: serving contract violated\n");
+    return ok ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include "apps/qaoa.hpp"
 #include "apps/qft.hpp"
 #include "bench_common.hpp"
+#include "serve/api.hpp"
 #include "synth/engine.hpp"
 #include "util/table.hpp"
 
@@ -92,15 +93,22 @@ main()
                         row.circuit.numQubits(), device.numQubits());
             continue;
         }
+        CompileRequest req(0, 0, row.name, row.circuit);
+        req.options.transpile = topts;
+        req.options.t_1q_ns = kOneQubitNs;
+        req.options.t_coherence_ns = kCoherenceNs;
         const CompiledCircuitResult rb =
-            compileAndScore(device, baseline, cache_b, row.circuit,
-                            topts, kOneQubitNs, kCoherenceNs);
+            runCompile(device, baseline,
+                       SynthRoute::local(&cache_b), req)
+                .result;
         const CompiledCircuitResult r1 =
-            compileAndScore(device, crit1, cache_1, row.circuit,
-                            topts, kOneQubitNs, kCoherenceNs);
+            runCompile(device, crit1, SynthRoute::local(&cache_1),
+                       req)
+                .result;
         const CompiledCircuitResult r2 =
-            compileAndScore(device, crit2, cache_2, row.circuit,
-                            topts, kOneQubitNs, kCoherenceNs);
+            runCompile(device, crit2, SynthRoute::local(&cache_2),
+                       req)
+                .result;
         table.addRow({row.name, fmtPercent(rb.fidelity, 3),
                       fmtPercent(r1.fidelity, 3),
                       fmtPercent(r2.fidelity, 3),

@@ -10,6 +10,7 @@
 
 #include "apps/qaoa.hpp"
 #include "core/experiment.hpp"
+#include "serve/api.hpp"
 #include "util/table.hpp"
 
 using namespace qbasis;
@@ -55,13 +56,15 @@ main()
                 qaoa.numQubits(), qaoa.count(GateKind::RZZ));
 
     DecompositionCache cache_b, cache_n;
-    const TranspileOptions topts;
+    CompileRequest req(1, 0, "qaoa", qaoa);
     const CompiledCircuitResult rb =
-        compileAndScore(device, baseline, cache_b, qaoa, topts, 20.0,
-                        80e3);
+        runCompile(device, baseline, SynthRoute::local(&cache_b), req)
+            .result;
+    req.request_id = 2;
     const CompiledCircuitResult rn =
-        compileAndScore(device, nonstandard, cache_n, qaoa, topts,
-                        20.0, 80e3);
+        runCompile(device, nonstandard, SynthRoute::local(&cache_n),
+                   req)
+            .result;
 
     TextTable results({"basis set", "fidelity", "makespan (us)",
                        "2Q gates", "swaps"});

@@ -2,9 +2,9 @@
 """CI bench-regression gate.
 
 Reads BENCH_synth.json, BENCH_fleet.json, BENCH_recalib.json,
-BENCH_persist.json, and BENCH_mat4.json (produced by the
-corresponding --quick bench runs) and gates on the floors committed
-in bench/baselines.json:
+BENCH_persist.json, BENCH_serve.json, and BENCH_mat4.json (produced
+by the corresponding --quick bench runs) and gates on the floors
+committed in bench/baselines.json:
 
   * every workload's engine/serial agreement (results_match),
   * fleet bit-determinism at 1 vs N shards,
@@ -18,10 +18,15 @@ in bench/baselines.json:
   * mat4 kernels: scalar-vs-SIMD bit-identity on every kernel, and
     speedup floors (per kernel and geomean) that apply only when the
     SIMD backend is available on the runner (simd_available),
-  * fault injection (only when the recalib JSON carries a "faults"
-    section, i.e. it came from `bench_recalib --faults`): the
-    same-fault-seed replay must be bit-identical and every
-    quarantined edge must have served its last-good basis.
+  * serving: concurrent-vs-serial per-request bit-identity, the
+    epoch-swap digest change, reject-with-status admission under
+    saturation, and open-loop throughput/p99 sanity bounds,
+  * fault injection (only when the recalib/serve JSON carries a
+    "faults" section, i.e. it came from `bench_recalib --faults` /
+    `bench_serve --faults`): the same-fault-seed replay must be
+    bit-identical, every quarantined edge must have served its
+    last-good basis, and the serve.admit shed pattern must replay
+    identically.
 
 A missing or unparseable BENCH file is reported as a clear,
 path-bearing FAIL row -- never a traceback.
@@ -33,7 +38,8 @@ nonzero when any row fails. Pure stdlib.
 
 Usage: scripts/check_bench.py [--synth PATH] [--fleet PATH]
                               [--recalib PATH] [--persist PATH]
-                              [--mat4 PATH] [--baselines PATH]
+                              [--serve PATH] [--mat4 PATH]
+                              [--baselines PATH]
 """
 
 import argparse
@@ -279,6 +285,75 @@ def check_persist(bench, base, gate):
         )
 
 
+def check_serve(bench, base, gate):
+    floors = base.get("serve", {})
+    det = bench.get("determinism", {})
+    if floors.get("require_determinism"):
+        gate.check(
+            "serve.determinism.bit_identical",
+            bool(det.get("bit_identical")),
+            f"{det.get('requests')} requests x "
+            f"{det.get('interleavings')} interleavings bit-identical",
+            det.get("bit_identical"),
+        )
+    swap = bench.get("epoch_swap", {})
+    if floors.get("require_epoch_swap_digest_change"):
+        gate.check(
+            "serve.epoch_swap.digest_changed",
+            bool(swap.get("digest_changed")),
+            f"epoch {swap.get('old_epoch')} -> "
+            f"{swap.get('new_epoch')} changes digests",
+            swap.get("digest_changed"),
+        )
+    if floors.get("require_served_during_swap"):
+        gate.require(
+            "serve.epoch_swap.served_during_swap",
+            swap.get("served_during_swap"),
+        )
+    adm = bench.get("admission", {})
+    if floors.get("require_admission_rejects_with_status"):
+        gate.check(
+            "serve.admission.rejects_with_status",
+            f"{adm.get('rejected', 0)} of {adm.get('burst', 0)}",
+            "rejected >= 1, all futures resolved",
+            adm.get("rejected", 0) >= 1 and adm.get("all_resolved"),
+        )
+    open_loop = bench.get("open_loop", {})
+    floor = floors.get("min_requests")
+    if floor is not None:
+        gate.floor(
+            "serve.open_loop.requests",
+            open_loop.get("requests", 0),
+            floor,
+        )
+    floor = floors.get("min_throughput_rps")
+    if floor is not None:
+        gate.floor(
+            "serve.open_loop.throughput_rps",
+            open_loop.get("throughput_rps", 0.0),
+            floor,
+        )
+    ceiling = floors.get("max_p99_ms")
+    if ceiling is not None:
+        gate.ceiling(
+            "serve.open_loop.p99_ms",
+            open_loop.get("p99_ms", 0.0),
+            ceiling,
+        )
+    # Degraded-mode contract, present only for `bench_serve --faults`
+    # output (the CI fault-sweep job).
+    faults = bench.get("faults")
+    if faults is not None:
+        gate.require(
+            "serve.faults.replay_identical",
+            faults.get("replay_identical"),
+        )
+        gate.require(
+            "serve.faults.quarantined_served_ok",
+            faults.get("quarantined_served_ok"),
+        )
+
+
 def check_mat4(bench, base, gate):
     floors = base.get("mat4", {})
     kernels = bench.get("kernels", {})
@@ -330,6 +405,7 @@ def main():
     parser.add_argument(
         "--persist", default=REPO / "BENCH_persist.json"
     )
+    parser.add_argument("--serve", default=REPO / "BENCH_serve.json")
     parser.add_argument("--mat4", default=REPO / "BENCH_mat4.json")
     parser.add_argument(
         "--baselines", default=REPO / "bench" / "baselines.json"
@@ -351,6 +427,7 @@ def main():
         ("fleet", args.fleet, check_fleet),
         ("recalib", args.recalib, check_recalib),
         ("persist", args.persist, check_persist),
+        ("serve", args.serve, check_serve),
         ("mat4", args.mat4, check_mat4),
     ):
         try:

@@ -5,13 +5,14 @@
 #   scripts/verify.sh [--quick] [build-dir]
 #
 #   --quick    skip the bench pass (bench_synth + bench_fleet +
-#              bench_recalib + bench_persist + bench_mat4 +
-#              scripts/check_bench.py); the mat4, fleet, recalib,
-#              persist, and fault smokes still run so every matrix
-#              job exercises the SIMD kernel bit-identity check, the
-#              sharded driver, the async retune pipeline, the
-#              snapshot round trip, and the degraded-mode replay
-#              contract.
+#              bench_recalib + bench_persist + bench_serve +
+#              bench_mat4 + scripts/check_bench.py); the mat4, fleet,
+#              recalib, persist, serve, and fault smokes still run so
+#              every matrix job exercises the SIMD kernel bit-identity
+#              check, the sharded driver, the async retune pipeline,
+#              the snapshot round trip, the serving daemon's
+#              admission/determinism contracts, and the degraded-mode
+#              replay contract.
 #
 # Environment:
 #   CMAKE_BUILD_TYPE   build configuration (default Release)
@@ -67,17 +68,25 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 1200 \
 # rejection are the exit code.
 "$BUILD_DIR/bench_persist" --smoke
 
-# Fault smoke: degraded-mode replay under a pinned fault seed (one
-# that retries, contains, and quarantines at smoke scale). Runs
-# BEFORE the --quick bench pass below so the BENCH_recalib.json the
-# bench gate reads is the non-faulted one.
+# Serve smoke: open-loop load on the CompileService; interleaving
+# bit-identity, the epoch-swap digest change, and reject-with-status
+# admission are the exit code.
+"$BUILD_DIR/bench_serve" --smoke
+
+# Fault smokes: degraded-mode replays under pinned fault seeds (ones
+# that retry, contain, and quarantine at smoke scale; for serve, shed
+# at admission and serve through a fully quarantined fleet). Run
+# BEFORE the --quick bench pass below so the BENCH_*.json files the
+# bench gate reads are the non-faulted ones.
 "$BUILD_DIR/bench_recalib" --faults 1 --smoke
+"$BUILD_DIR/bench_serve" --faults 1 --smoke
 
 if [ "$QUICK" = 0 ]; then
   "$BUILD_DIR/bench_synth" --quick
   "$BUILD_DIR/bench_fleet" --quick
   "$BUILD_DIR/bench_recalib" --quick
   "$BUILD_DIR/bench_persist" --quick
+  "$BUILD_DIR/bench_serve" --quick
   "$BUILD_DIR/bench_mat4" --quick
   python3 scripts/check_bench.py
 fi

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "circuit/schedule.hpp"
 #include "noise/coherence.hpp"
 #include "synth/engine.hpp"
 #include "util/logging.hpp"
@@ -192,48 +191,7 @@ summarizeGateSet(const GridDevice &device, const CalibratedBasisSet &set,
                                        t_coherence_ns);
 }
 
-CompiledCircuitResult
-compileAndScore(const GridDevice &device, const CalibratedBasisSet &set,
-                DecompositionCache &cache, const Circuit &logical,
-                const TranspileOptions &opts, double t_1q_ns,
-                double t_coherence_ns)
-{
-    const CouplingMap &cm = device.coupling();
-    const TranspileResult compiled =
-        transpileCircuit(logical, cm, set.bases, cache, opts);
-
-    const Schedule sched = scheduleAsap(
-        compiled.physical, edgeDurationModel(cm, set.bases, t_1q_ns));
-
-    CompiledCircuitResult result;
-    result.fidelity = circuitCoherenceFidelity(sched, t_coherence_ns);
-    result.makespan_ns = sched.makespan;
-    result.swaps_inserted = compiled.swaps_inserted;
-    result.two_qubit_gates = compiled.physical.countTwoQubit();
-    result.depth = compiled.physical.depth();
-    return result;
-}
-
-CompiledCircuitResult
-compileAndScore(const GridDevice &device, const CalibratedBasisSet &set,
-                const SynthClient &client, const Circuit &logical,
-                const TranspileOptions &opts, double t_1q_ns,
-                double t_coherence_ns)
-{
-    const CouplingMap &cm = device.coupling();
-    const TranspileResult compiled =
-        transpileCircuit(logical, cm, set.bases, client, opts);
-
-    const Schedule sched = scheduleAsap(
-        compiled.physical, edgeDurationModel(cm, set.bases, t_1q_ns));
-
-    CompiledCircuitResult result;
-    result.fidelity = circuitCoherenceFidelity(sched, t_coherence_ns);
-    result.makespan_ns = sched.makespan;
-    result.swaps_inserted = compiled.swaps_inserted;
-    result.two_qubit_gates = compiled.physical.countTwoQubit();
-    result.depth = compiled.physical.depth();
-    return result;
-}
+// The compileAndScore shims (deprecated Table II entry points) are
+// defined in serve/api.cpp on top of runCompile.
 
 } // namespace qbasis

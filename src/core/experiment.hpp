@@ -138,9 +138,14 @@ struct CompiledCircuitResult
 };
 
 /**
- * Compile a logical circuit to the device with the given basis set
- * and evaluate the paper's per-qubit e^{-t/T} fidelity model.
+ * @deprecated Legacy Table II entry point; use `runCompile` with a
+ * `CompileRequest` (serve/api.hpp), which subsumes both overloads
+ * via SynthRoute and reports failures as a status instead of
+ * throwing. Kept as a thin shim so out-of-tree callers keep
+ * building; definitions live in serve/api.cpp.
  */
+[[deprecated("use runCompile(device, set, SynthRoute::local(&cache), "
+             "request) from serve/api.hpp")]]
 CompiledCircuitResult compileAndScore(const GridDevice &device,
                                       const CalibratedBasisSet &set,
                                       DecompositionCache &cache,
@@ -149,7 +154,10 @@ CompiledCircuitResult compileAndScore(const GridDevice &device,
                                       double t_1q_ns,
                                       double t_coherence_ns);
 
-/** Fleet-mode Table II cell: compile through the shared cache. */
+/** @deprecated Fleet-mode shim; use `runCompile` with
+ *  `SynthRoute(client)` (serve/api.hpp). */
+[[deprecated("use runCompile(device, set, SynthRoute(client), "
+             "request) from serve/api.hpp")]]
 CompiledCircuitResult compileAndScore(const GridDevice &device,
                                       const CalibratedBasisSet &set,
                                       const SynthClient &client,

@@ -7,6 +7,7 @@
 #include <exception>
 #include <thread>
 
+#include "serve/api.hpp"
 #include "util/fault.hpp"
 #include "util/fnv.hpp"
 #include "util/logging.hpp"
@@ -70,6 +71,23 @@ edgeCalibrationsBitIdentical(const EdgeCalibration &a,
            && mat4BitIdentical(a.gate.gate, b.gate.gate);
 }
 
+/** Build the unified compile request for one fleet circuit. */
+CompileRequest
+fleetRequest(const FleetOptions &opts, const FleetCircuit &fc,
+             int device_id)
+{
+    CompileRequest req;
+    req.device_id = device_id;
+    req.name = fc.name;
+    req.circuit = fc.circuit;
+    req.options.transpile = opts.transpile;
+    req.options.transpile.synth =
+        opts.synth; // one options set = one cache key
+    req.options.t_1q_ns = opts.t_1q_ns;
+    req.options.t_coherence_ns = opts.t_coherence_ns;
+    return req;
+}
+
 } // namespace
 
 bool
@@ -119,6 +137,8 @@ healthReportsBitIdentical(const HealthReport &a, const HealthReport &b)
         || a.cache_quarantines != b.cache_quarantines
         || a.last_cache_quarantine != b.last_cache_quarantine
         || a.max_stale_cycles != b.max_stale_cycles
+        || a.device_failures != b.device_failures
+        || a.first_device_error != b.first_device_error
         || a.quarantined.size() != b.quarantined.size())
         return false;
     for (size_t i = 0; i < a.quarantined.size(); ++i) {
@@ -148,6 +168,9 @@ healthReportDigest(const HealthReport &report)
     fnv.mix(report.last_cache_quarantine.size());
     fnv.mixString(report.last_cache_quarantine);
     fnv.mix(report.max_stale_cycles);
+    fnv.mix(report.device_failures);
+    fnv.mix(report.first_device_error.size());
+    fnv.mixString(report.first_device_error);
     fnv.mix(report.quarantined.size());
     for (const EdgeQuarantine &q : report.quarantined) {
         fnv.mix(static_cast<uint64_t>(q.device_id));
@@ -337,11 +360,13 @@ FleetDriver::runDevice(int device_id, const FleetDeviceSpec &spec,
     for (const FleetCircuit &fc : circuits) {
         FleetCircuitResult cr;
         cr.name = fc.name;
-        TranspileOptions topts = opts_.transpile;
-        topts.synth = opts_.synth; // one options set = one cache key
-        cr.result = compileAndScore(device, report.set, client,
-                                    fc.circuit, topts, opts_.t_1q_ns,
-                                    opts_.t_coherence_ns);
+        const CompileRequest req =
+            fleetRequest(opts_, fc, device_id);
+        const CompileResponse resp = runCompile(
+            device, report.set, SynthRoute(client), req);
+        if (resp.status != CompileStatus::Ok)
+            throw std::runtime_error(resp.error);
+        cr.result = resp.result;
         report.circuits.push_back(std::move(cr));
     }
     return report;
@@ -355,6 +380,7 @@ FleetDriver::run(const std::vector<FleetDeviceSpec> &specs,
 
     FleetReport report;
     report.devices.resize(specs.size());
+    report.statuses.resize(specs.size());
     const int n_devices = static_cast<int>(specs.size());
     if (n_devices == 0) {
         report.cache = cache_.stats();
@@ -366,11 +392,43 @@ FleetDriver::run(const std::vector<FleetDeviceSpec> &specs,
     // of their own, so each device gets a fresh one; shard threads
     // block in shared-cache waits and batch joins, which is why
     // they are std::threads rather than pool workers.
+    //
+    // Per-device failure domain: a throwing device is contained into
+    // its FleetDeviceStatus -- the rest of the fleet completes and
+    // run() never throws for a device-scoped error.
     forEachDeviceSharded(specs.size(), [&, this](int d) {
-        SynthEngine engine(pool_);
-        report.devices[static_cast<size_t>(d)] = runDevice(
-            d, specs[static_cast<size_t>(d)], circuits, engine);
-        absorbEngineStats(engine);
+        const size_t di = static_cast<size_t>(d);
+        FleetDeviceStatus &status = report.statuses[di];
+        status.device_id = d;
+        try {
+            SynthEngine engine(pool_);
+            report.devices[di] =
+                runDevice(d, specs[di], circuits, engine);
+            absorbEngineStats(engine);
+            status.ok = true;
+        } catch (const std::exception &e) {
+            status.ok = false;
+            status.error = e.what();
+        } catch (...) {
+            status.ok = false;
+            status.error = "unknown error";
+        }
+        if (!status.ok) {
+            report.devices[di] = FleetDeviceReport{};
+            report.devices[di].device_id = d;
+            report.devices[di].label =
+                specs[di].label.empty() ? "dev" + std::to_string(d)
+                                        : specs[di].label;
+            warn("FleetDriver: device %d (%s) failed, contained: %s",
+                 d, report.devices[di].label.c_str(),
+                 status.error.c_str());
+            device_failures_.fetch_add(1);
+            std::lock_guard<std::mutex> lock(health_mutex_);
+            if (d < first_device_error_id_) {
+                first_device_error_id_ = d;
+                first_device_error_ = status.error;
+            }
+        }
     });
 
     report.cache = cache_.stats();
@@ -658,11 +716,16 @@ FleetDriver::compileCircuits(const std::vector<FleetCircuit> &circuits)
         out.reserve(circuits.size());
         double waited = 0.0;
         for (const FleetCircuit &fc : circuits) {
-            TranspileOptions topts = opts_.transpile;
-            topts.synth = opts_.synth;
-            VersionedCompileResult r = compileAndScore(
-                state.device, state.calibration, client, fc.circuit,
-                topts, opts_.t_1q_ns, opts_.t_coherence_ns);
+            const CompileRequest req = fleetRequest(opts_, fc, d);
+            const CompileResponse resp =
+                runCompile(state.device, state.calibration,
+                           SynthRoute(client), req);
+            if (resp.status != CompileStatus::Ok)
+                throw std::runtime_error(resp.error);
+            VersionedCompileResult r;
+            r.basis_version = resp.basis_epoch;
+            r.snapshot_wait_ms = resp.snapshot_wait_ms;
+            r.result = resp.result;
             waited += r.snapshot_wait_ms;
             out.push_back(std::move(r));
         }
@@ -699,14 +762,14 @@ FleetDriver::cycleReport(uint64_t cycle,
                                  TaskPriority::Normal};
         out.verify.reserve(verify.size());
         for (const FleetCircuit &fc : verify) {
-            TranspileOptions topts = opts_.transpile;
-            topts.synth = opts_.synth;
             FleetCircuitResult cr;
             cr.name = fc.name;
-            cr.result = compileAndScore(state.device, *snap.set,
-                                        client, fc.circuit, topts,
-                                        opts_.t_1q_ns,
-                                        opts_.t_coherence_ns);
+            const CompileRequest req = fleetRequest(opts_, fc, d);
+            const CompileResponse resp = runCompile(
+                state.device, *snap.set, SynthRoute(client), req);
+            if (resp.status != CompileStatus::Ok)
+                throw std::runtime_error(resp.error);
+            cr.result = resp.result;
             out.verify.push_back(std::move(cr));
         }
         absorbEngineStats(engine);
@@ -722,9 +785,11 @@ FleetDriver::cycleReport(uint64_t cycle,
     health.quarantine_skipped = rs.quarantine_skipped;
     health.synth_restarts_failed = restarts_failed_.load();
     health.cache_quarantines = cache_quarantines_.load();
+    health.device_failures = device_failures_.load();
     {
         std::lock_guard<std::mutex> lock(health_mutex_);
         health.last_cache_quarantine = last_cache_quarantine_;
+        health.first_device_error = first_device_error_;
     }
     if (recalib_)
         health.quarantined = recalib_->quarantined();

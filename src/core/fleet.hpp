@@ -26,6 +26,7 @@
  */
 
 #include <atomic>
+#include <climits>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -108,13 +109,42 @@ struct FleetDeviceReport
     std::vector<FleetCircuitResult> circuits;
 };
 
+/**
+ * Terminal state of one device in a run() pass. A failed device's
+ * FleetDeviceReport keeps its id/label but carries no results; the
+ * fleet keeps serving the other devices (failure-domain isolation --
+ * a serving daemon must not tear down the fleet because one device
+ * failed).
+ */
+struct FleetDeviceStatus
+{
+    int device_id = -1;
+    bool ok = false;
+    std::string error; ///< what() of the contained failure.
+};
+
 /** Fleet-wide outcome of one run() call. */
 struct FleetReport
 {
     std::vector<FleetDeviceReport> devices; ///< Indexed by device id.
+    /** Per-device outcome, indexed by device id. Excluded from the
+     *  bit-identical contract (fault-free runs keep every entry ok);
+     *  failures also count into the HealthReport, whose fixed-fault-
+     *  seed contract covers them. */
+    std::vector<FleetDeviceStatus> statuses;
     SharedDecompositionCache::Stats cache;  ///< Cumulative stats.
     int shards = 0;
     double wall_ms = 0.0;
+
+    /** Devices whose status is not ok. */
+    size_t
+    failedDevices() const
+    {
+        size_t n = 0;
+        for (const FleetDeviceStatus &s : statuses)
+            n += s.ok ? 0 : 1;
+        return n;
+    }
 };
 
 /**
@@ -250,6 +280,13 @@ struct HealthReport
     std::string last_cache_quarantine;
     /** Max stale_cycles over the quarantined edges (0 when none). */
     uint64_t max_stale_cycles = 0;
+    /** run() devices whose failure was contained into a
+     *  FleetDeviceStatus instead of tearing the fleet down. */
+    uint64_t device_failures = 0;
+    /** what() of the lowest-device-id contained failure so far
+     *  (empty when device_failures == 0); deterministic regardless
+     *  of shard interleaving. */
+    std::string first_device_error;
 };
 
 /** Bitwise equality of two health reports -- the fixed-fault-seed
@@ -315,10 +352,13 @@ class FleetDriver
 
     /**
      * Calibrate + summarize every device and compile every circuit
-     * on it, sharded across threads. Throws the first (device-order)
-     * error if any device fails. The shared cache persists across
-     * run() calls (a warm fleet recompiles without resynthesis);
-     * call cache().clear() between calibration cycles instead.
+     * on it, sharded across threads. A failing device never throws
+     * out of run(): its error is contained into
+     * FleetReport::statuses[d] (and counted into the HealthReport's
+     * device_failures) while every other device completes normally.
+     * The shared cache persists across run() calls (a warm fleet
+     * recompiles without resynthesis); call cache().clear() between
+     * calibration cycles instead.
      */
     FleetReport run(const std::vector<FleetDeviceSpec> &specs,
                     const std::vector<FleetCircuit> &circuits = {});
@@ -470,8 +510,13 @@ class FleetDriver
     std::atomic<uint64_t> restarts_failed_{0};
     /** Snapshots loadCache() rejected and renamed to .quarantine. */
     std::atomic<uint64_t> cache_quarantines_{0};
-    mutable std::mutex health_mutex_; ///< Guards the string below.
+    /** run() device failures contained into FleetDeviceStatus. */
+    std::atomic<uint64_t> device_failures_{0};
+    mutable std::mutex health_mutex_; ///< Guards the strings below.
     std::string last_cache_quarantine_;
+    std::string first_device_error_;
+    /** Device id of first_device_error_ (INT_MAX until a failure). */
+    int first_device_error_id_ = INT_MAX;
     /** Cache counters at the last loadCache() (0 until then): the
      *  base of the warm-hit-rate window. */
     std::atomic<uint64_t> warm_base_hits_{0};

@@ -1,7 +1,5 @@
 #include "core/recalib.hpp"
 
-#include <chrono>
-
 #include "util/logging.hpp"
 
 namespace qbasis {
@@ -70,24 +68,8 @@ VersionedBasisSet::version() const
     return version_;
 }
 
-VersionedCompileResult
-compileAndScore(const GridDevice &device,
-                const VersionedBasisSet &calibration,
-                const SynthClient &client, const Circuit &logical,
-                const TranspileOptions &opts, double t_1q_ns,
-                double t_coherence_ns)
-{
-    VersionedCompileResult out;
-    const auto t0 = std::chrono::steady_clock::now();
-    const CalibrationSnapshot snap = calibration.snapshot();
-    out.snapshot_wait_ms = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
-    out.basis_version = snap.version;
-    out.result = compileAndScore(device, *snap.set, client, logical,
-                                 opts, t_1q_ns, t_coherence_ns);
-    return out;
-}
+// The versioned compileAndScore shim (deprecated) is defined in
+// serve/api.cpp on top of runCompile.
 
 void
 appendLiveContexts(const CalibrationSnapshot &snap,

@@ -95,12 +95,14 @@ struct VersionedCompileResult
 };
 
 /**
- * Snapshot `calibration` and compile against the frozen set. The
- * returned basis_version records exactly which published calibration
- * served this circuit; an edge mid-recalibration serves its last
- * published basis (Barenco et al. universality guarantees the old
- * basis still realizes every gate).
+ * @deprecated Legacy versioned entry point; use `runCompile` with a
+ * `CompileRequest` against the VersionedBasisSet (serve/api.hpp),
+ * which snapshots identically and additionally reports failures as a
+ * status. Kept as a thin shim so out-of-tree callers keep building;
+ * the definition lives in serve/api.cpp.
  */
+[[deprecated("use runCompile(device, calibration, "
+             "SynthRoute(client), request) from serve/api.hpp")]]
 VersionedCompileResult compileAndScore(const GridDevice &device,
                                        const VersionedBasisSet &calibration,
                                        const SynthClient &client,

@@ -1,0 +1,203 @@
+#include "serve/api.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "circuit/schedule.hpp"
+#include "noise/coherence.hpp"
+#include "util/fnv.hpp"
+
+namespace qbasis {
+
+const char *
+compileStatusName(CompileStatus status)
+{
+    switch (status) {
+    case CompileStatus::Ok:
+        return "ok";
+    case CompileStatus::Rejected:
+        return "rejected";
+    case CompileStatus::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+bool
+compileResponsesBitIdentical(const CompileResponse &a,
+                             const CompileResponse &b)
+{
+    return a.request_id == b.request_id && a.status == b.status
+           && a.error == b.error && a.basis_epoch == b.basis_epoch
+           && a.result.fidelity == b.result.fidelity
+           && a.result.makespan_ns == b.result.makespan_ns
+           && a.result.swaps_inserted == b.result.swaps_inserted
+           && a.result.two_qubit_gates == b.result.two_qubit_gates
+           && a.result.depth == b.result.depth;
+}
+
+uint64_t
+compileResponseDigest(const CompileResponse &resp)
+{
+    // Mixes exactly the fields compileResponsesBitIdentical (above)
+    // compares; extend both together.
+    Fnv64 fnv;
+    fnv.mix(resp.request_id);
+    fnv.mix(static_cast<uint64_t>(resp.status));
+    fnv.mix(resp.error.size());
+    fnv.mixString(resp.error);
+    fnv.mix(resp.basis_epoch);
+    fnv.mixDouble(resp.result.fidelity);
+    fnv.mixDouble(resp.result.makespan_ns);
+    fnv.mix(static_cast<uint64_t>(resp.result.swaps_inserted));
+    fnv.mix(static_cast<uint64_t>(resp.result.two_qubit_gates));
+    fnv.mix(static_cast<uint64_t>(resp.result.depth));
+    return fnv.h;
+}
+
+uint64_t
+compileRequestFingerprint(const CompileRequest &req)
+{
+    Fnv64 fnv;
+    fnv.mix(req.request_id);
+    fnv.mix(static_cast<uint64_t>(req.device_id));
+    fnv.mix(req.name.size());
+    fnv.mixString(req.name);
+    fnv.mix(static_cast<uint64_t>(req.circuit.numQubits()));
+    fnv.mix(req.circuit.size());
+    for (const Gate &g : req.circuit.gates()) {
+        fnv.mix(static_cast<uint64_t>(g.kind));
+        for (const int q : g.qubits)
+            fnv.mix(static_cast<uint64_t>(q));
+        for (const double p : g.params)
+            fnv.mixDouble(p);
+    }
+    fnv.mixDouble(req.options.t_1q_ns);
+    fnv.mixDouble(req.options.t_coherence_ns);
+    return fnv.h;
+}
+
+CompileResponse
+runCompile(const GridDevice &device, const CalibratedBasisSet &set,
+           const SynthRoute &route, const CompileRequest &req)
+{
+    CompileResponse resp;
+    resp.request_id = req.request_id;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        const CouplingMap &cm = device.coupling();
+        const TranspileResult compiled =
+            transpileCircuit(req.circuit, cm, set.bases, route,
+                             req.options.transpile);
+        const Schedule sched = scheduleAsap(
+            compiled.physical,
+            edgeDurationModel(cm, set.bases, req.options.t_1q_ns));
+
+        resp.result.fidelity = circuitCoherenceFidelity(
+            sched, req.options.t_coherence_ns);
+        resp.result.makespan_ns = sched.makespan;
+        resp.result.swaps_inserted = compiled.swaps_inserted;
+        resp.result.two_qubit_gates =
+            compiled.physical.countTwoQubit();
+        resp.result.depth = compiled.physical.depth();
+        resp.status = CompileStatus::Ok;
+    } catch (const std::exception &e) {
+        // One bad request must not take a serving daemon down with
+        // it: contain the pipeline error into the response.
+        resp.status = CompileStatus::Failed;
+        resp.error = e.what();
+        resp.result = CompiledCircuitResult{};
+    }
+    resp.compile_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return resp;
+}
+
+CompileResponse
+runCompile(const GridDevice &device,
+           const VersionedBasisSet &calibration, const SynthRoute &route,
+           const CompileRequest &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const CalibrationSnapshot snap = calibration.snapshot();
+    const double wait_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+    CompileResponse resp = runCompile(device, *snap.set, route, req);
+    resp.basis_epoch = snap.version;
+    resp.snapshot_wait_ms = wait_ms;
+    return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shims (declared in core/experiment.hpp and
+// core/recalib.hpp). They preserve the historical throwing behavior
+// by re-throwing a Failed response's error.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+CompiledCircuitResult
+shimCompile(const GridDevice &device, const CalibratedBasisSet &set,
+            const SynthRoute &route, const Circuit &logical,
+            const TranspileOptions &opts, double t_1q_ns,
+            double t_coherence_ns)
+{
+    CompileRequest req;
+    req.circuit = logical;
+    req.options.transpile = opts;
+    req.options.t_1q_ns = t_1q_ns;
+    req.options.t_coherence_ns = t_coherence_ns;
+    const CompileResponse resp = runCompile(device, set, route, req);
+    if (resp.status != CompileStatus::Ok)
+        throw std::runtime_error(resp.error);
+    return resp.result;
+}
+
+} // namespace
+
+CompiledCircuitResult
+compileAndScore(const GridDevice &device, const CalibratedBasisSet &set,
+                DecompositionCache &cache, const Circuit &logical,
+                const TranspileOptions &opts, double t_1q_ns,
+                double t_coherence_ns)
+{
+    return shimCompile(device, set, SynthRoute::local(&cache), logical,
+                       opts, t_1q_ns, t_coherence_ns);
+}
+
+CompiledCircuitResult
+compileAndScore(const GridDevice &device, const CalibratedBasisSet &set,
+                const SynthClient &client, const Circuit &logical,
+                const TranspileOptions &opts, double t_1q_ns,
+                double t_coherence_ns)
+{
+    return shimCompile(device, set, SynthRoute(client), logical, opts,
+                       t_1q_ns, t_coherence_ns);
+}
+
+VersionedCompileResult
+compileAndScore(const GridDevice &device,
+                const VersionedBasisSet &calibration,
+                const SynthClient &client, const Circuit &logical,
+                const TranspileOptions &opts, double t_1q_ns,
+                double t_coherence_ns)
+{
+    CompileRequest req;
+    req.circuit = logical;
+    req.options.transpile = opts;
+    req.options.t_1q_ns = t_1q_ns;
+    req.options.t_coherence_ns = t_coherence_ns;
+    const CompileResponse resp =
+        runCompile(device, calibration, SynthRoute(client), req);
+    if (resp.status != CompileStatus::Ok)
+        throw std::runtime_error(resp.error);
+    VersionedCompileResult out;
+    out.basis_version = resp.basis_epoch;
+    out.snapshot_wait_ms = resp.snapshot_wait_ms;
+    out.result = resp.result;
+    return out;
+}
+
+} // namespace qbasis

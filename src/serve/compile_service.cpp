@@ -1,0 +1,242 @@
+#include "serve/compile_service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/** Forces submit() down its admission-rejection path. Keyed by
+ *  compileRequestFingerprint (which mixes the request id), so fire
+ *  decisions are per-request and replay bit-identically regardless
+ *  of client-thread interleaving. */
+const FaultSite kFaultServeAdmit("serve.admit");
+
+} // namespace
+
+CompileService::CompileService(CompileServiceOptions opts)
+    : opts_(std::move(opts)), driver_(opts_.fleet)
+{
+    if (opts_.queue_capacity == 0)
+        opts_.queue_capacity = 1;
+    if (opts_.dispatchers <= 0)
+        opts_.dispatchers = 1;
+    if (opts_.max_batch == 0)
+        opts_.max_batch = 1;
+}
+
+CompileService::~CompileService()
+{
+    stop();
+}
+
+void
+CompileService::start(const std::vector<FleetDeviceSpec> &specs)
+{
+    stop(); // settle any previous incarnation first
+    driver_.initDevices(specs);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        accepting_ = true;
+        draining_ = false;
+    }
+    dispatchers_.reserve(static_cast<size_t>(opts_.dispatchers));
+    for (int i = 0; i < opts_.dispatchers; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+    inform("CompileService: serving %zu devices "
+           "(queue %zu, %d dispatchers, batch %zu)",
+           driver_.deviceCount(), opts_.queue_capacity,
+           opts_.dispatchers, opts_.max_batch);
+}
+
+void
+CompileService::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (dispatchers_.empty() && !accepting_)
+            return;
+        accepting_ = false;
+        draining_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : dispatchers_) {
+        if (t.joinable())
+            t.join();
+    }
+    dispatchers_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = false;
+}
+
+bool
+CompileService::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accepting_;
+}
+
+CompileResponse
+CompileService::rejectResponse(const CompileRequest &req,
+                               std::string why)
+{
+    CompileResponse resp;
+    resp.request_id = req.request_id;
+    resp.status = CompileStatus::Rejected;
+    resp.error = std::move(why);
+    return resp;
+}
+
+std::future<CompileResponse>
+CompileService::submit(CompileRequest req)
+{
+    // One options set = one shared-cache context: requests compile
+    // with the fleet's synthesis options, exactly like the batch
+    // compileCircuits() path.
+    req.options.transpile.synth = opts_.fleet.synth;
+
+    PendingRequest pending;
+    pending.req = std::move(req);
+    pending.enqueued = std::chrono::steady_clock::now();
+    std::future<CompileResponse> fut = pending.promise.get_future();
+
+    const uint64_t fingerprint =
+        compileRequestFingerprint(pending.req);
+    std::string reject_why;
+    try {
+        faultPoint(kFaultServeAdmit, fingerprint);
+    } catch (const FaultInjected &e) {
+        reject_why = e.what();
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (reject_why.empty() && !accepting_)
+        reject_why = "service not accepting requests";
+    if (reject_why.empty() && queue_.size() >= opts_.queue_capacity)
+        reject_why = "admission queue full (capacity "
+                     + std::to_string(opts_.queue_capacity) + ")";
+    if (!reject_why.empty()) {
+        ++stats_.rejected;
+        pending.promise.set_value(
+            rejectResponse(pending.req, std::move(reject_why)));
+        return fut;
+    }
+
+    ++stats_.admitted;
+    queue_.push_back(std::move(pending));
+    stats_.max_queue_depth = std::max<uint64_t>(
+        stats_.max_queue_depth, queue_.size());
+    cv_.notify_one();
+    return fut;
+}
+
+CompileResponse
+CompileService::compileSync(CompileRequest req)
+{
+    return submit(std::move(req)).get();
+}
+
+void
+CompileService::serveOne(PendingRequest &pending,
+                         const SynthClient &client)
+{
+    const auto dispatched = std::chrono::steady_clock::now();
+    CompileResponse resp;
+    try {
+        const FleetDeviceState &state =
+            driver_.device(pending.req.device_id);
+        // runCompile contains pipeline errors into status == Failed;
+        // this try only guards pre-pipeline faults (unknown device).
+        resp = runCompile(state.device, state.calibration,
+                          SynthRoute(client), pending.req);
+    } catch (const std::exception &e) {
+        resp = CompileResponse{};
+        resp.request_id = pending.req.request_id;
+        resp.status = CompileStatus::Failed;
+        resp.error = e.what();
+    }
+    resp.queue_ms = std::chrono::duration<double, std::milli>(
+                        dispatched - pending.enqueued)
+                        .count();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.completed;
+        if (resp.status == CompileStatus::Failed)
+            ++stats_.failed;
+    }
+    pending.promise.set_value(std::move(resp));
+}
+
+void
+CompileService::dispatchLoop()
+{
+    for (;;) {
+        std::vector<PendingRequest> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] {
+                return !queue_.empty() || draining_;
+            });
+            if (queue_.empty() && draining_)
+                return;
+            const size_t take =
+                std::min(opts_.max_batch, queue_.size());
+            batch.reserve(take);
+            for (size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            ++stats_.batches;
+        }
+        // One engine per dispatch round: the round's requests batch
+        // their class syntheses on the shared pool and publish into
+        // the fleet-wide cache, so concurrent rounds (and devices)
+        // dedupe structurally.
+        SynthEngine engine(driver_.pool());
+        for (PendingRequest &pending : batch) {
+            const SynthClient client{engine, driver_.cache(),
+                                     pending.req.device_id,
+                                     TaskPriority::Normal};
+            serveOne(pending, client);
+        }
+    }
+}
+
+void
+CompileService::recalibrate(const std::vector<RecalibEdgeRequest> &edges)
+{
+    driver_.recalibrate(edges);
+}
+
+void
+CompileService::drainRecalibration()
+{
+    driver_.drainRecalibration();
+}
+
+uint64_t
+CompileService::basisEpoch(int device_id) const
+{
+    return driver_.device(device_id).calibration.version();
+}
+
+size_t
+CompileService::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+CompileServiceStats
+CompileService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace qbasis

@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "synth/cache.hpp"
@@ -162,6 +163,62 @@ struct SynthClient
         return engine.synthesizeBatch(requests, cache, opts,
                                       device_id, priority);
     }
+};
+
+/**
+ * Unified synthesis routing handle for the compile API.
+ *
+ * Historically every compile entry point picked its own synthesis
+ * plumbing: the serial transpiler took a raw `DecompositionCache *`
+ * (null = synthesize inline without caching), while the fleet path
+ * hand-threaded a `SynthClient` (engine + shared cache + device id +
+ * lane). A SynthRoute is either of those behind one value type, so
+ * one `transpileCircuit` / `runCompile` signature serves both worlds:
+ *
+ *   SynthRoute{}             — private per-call cache (the old
+ *                              default-options path); whether waves
+ *                              run on SynthEngine::shared() or
+ *                              serially in-thread is still governed
+ *                              by TranspileOptions::parallel_synth;
+ *   SynthRoute::local(&c)    — same, but into a caller-owned cache
+ *                              shared across circuits of one
+ *                              calibration cycle;
+ *   SynthRoute(client)       — fleet path: batches submitted through
+ *                              the client's engine into the
+ *                              fleet-wide SharedDecompositionCache.
+ *
+ * The route never owns what it points at; everything referenced must
+ * outlive the compile call.
+ */
+class SynthRoute
+{
+  public:
+    /** Local route with a private, per-call cache. */
+    SynthRoute() = default;
+
+    /** Fleet route through a shared-cache client. */
+    explicit SynthRoute(const SynthClient &client) : client_(client) {}
+
+    /** Local route into a caller-owned cache (must be non-null). */
+    static SynthRoute local(DecompositionCache *cache)
+    {
+        SynthRoute r;
+        r.local_cache_ = cache;
+        return r;
+    }
+
+    bool isFleet() const { return client_.has_value(); }
+
+    /** Fleet client; only valid when isFleet(). */
+    const SynthClient &client() const { return *client_; }
+
+    /** Caller-owned local cache, or null for a private one; only
+     *  meaningful when !isFleet(). */
+    DecompositionCache *localCache() const { return local_cache_; }
+
+  private:
+    std::optional<SynthClient> client_;
+    DecompositionCache *local_cache_ = nullptr;
 };
 
 } // namespace qbasis

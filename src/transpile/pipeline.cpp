@@ -8,7 +8,7 @@ namespace qbasis {
 TranspileResult
 transpileCircuit(const Circuit &logical, const CouplingMap &cm,
                  const std::vector<EdgeBasis> &bases,
-                 DecompositionCache &cache, const TranspileOptions &opts)
+                 const SynthRoute &route, const TranspileOptions &opts)
 {
     TranspileResult result;
 
@@ -21,11 +21,22 @@ transpileCircuit(const Circuit &logical, const CouplingMap &cm,
     result.swaps_inserted = routed.swaps_inserted;
 
     const Circuit merged = mergeSingleQubitRuns(routed.circuit);
-    SynthEngine *engine =
-        opts.parallel_synth ? &SynthEngine::shared() : nullptr;
-    const Circuit translated =
-        translateToEdgeBases(merged, cm, bases, cache, opts.synth,
-                             &result.translation, engine);
+    Circuit translated{merged.numQubits()};
+    if (route.isFleet()) {
+        translated =
+            translateToEdgeBases(merged, cm, bases, route.client(),
+                                 opts.synth, &result.translation);
+    } else {
+        DecompositionCache private_cache;
+        DecompositionCache &cache = route.localCache()
+                                        ? *route.localCache()
+                                        : private_cache;
+        SynthEngine *engine =
+            opts.parallel_synth ? &SynthEngine::shared() : nullptr;
+        translated =
+            translateToEdgeBases(merged, cm, bases, cache, opts.synth,
+                                 &result.translation, engine);
+    }
     result.physical = mergeSingleQubitRuns(translated);
     return result;
 }
@@ -33,25 +44,19 @@ transpileCircuit(const Circuit &logical, const CouplingMap &cm,
 TranspileResult
 transpileCircuit(const Circuit &logical, const CouplingMap &cm,
                  const std::vector<EdgeBasis> &bases,
-                 const SynthClient &client,
-                 const TranspileOptions &opts)
+                 DecompositionCache &cache, const TranspileOptions &opts)
 {
-    TranspileResult result;
+    return transpileCircuit(logical, cm, bases,
+                            SynthRoute::local(&cache), opts);
+}
 
-    const std::vector<int> layout =
-        sabreLayout(logical, cm, opts.layout_iterations, opts.sabre);
-    RoutedCircuit routed = sabreRoute(logical, cm, layout, opts.sabre);
-
-    result.initial_layout = routed.initial_layout;
-    result.final_layout = routed.final_layout;
-    result.swaps_inserted = routed.swaps_inserted;
-
-    const Circuit merged = mergeSingleQubitRuns(routed.circuit);
-    const Circuit translated =
-        translateToEdgeBases(merged, cm, bases, client, opts.synth,
-                             &result.translation);
-    result.physical = mergeSingleQubitRuns(translated);
-    return result;
+TranspileResult
+transpileCircuit(const Circuit &logical, const CouplingMap &cm,
+                 const std::vector<EdgeBasis> &bases,
+                 const SynthClient &client, const TranspileOptions &opts)
+{
+    return transpileCircuit(logical, cm, bases, SynthRoute(client),
+                            opts);
 }
 
 } // namespace qbasis

@@ -9,6 +9,7 @@
  */
 
 #include "synth/cache.hpp"
+#include "synth/engine.hpp"
 #include "transpile/basis_translate.hpp"
 #include "transpile/layout.hpp"
 #include "transpile/routing.hpp"
@@ -45,12 +46,30 @@ struct TranspileResult
 /**
  * Compile a logical circuit to a device with per-edge basis gates.
  *
+ * This is the single pipeline entry point: `route` selects where
+ * two-qubit synthesis runs and which cache it fills (local cache vs
+ * the fleet-wide shared cache through a SynthClient) — see SynthRoute
+ * in synth/engine.hpp. Results are bit-identical across routes for a
+ * fixed synth seed whenever the routes see the same basis matrices.
+ *
  * @param logical  input circuit on logical qubits.
  * @param cm       device coupling graph.
  * @param bases    per-edge basis gates (indexed by edge id).
- * @param cache    decomposition cache shared across circuits in one
- *                 calibration cycle.
+ * @param route    synthesis routing (cache + engine selection).
  */
+TranspileResult transpileCircuit(const Circuit &logical,
+                                 const CouplingMap &cm,
+                                 const std::vector<EdgeBasis> &bases,
+                                 const SynthRoute &route = {},
+                                 const TranspileOptions &opts = {});
+
+/**
+ * @deprecated Legacy overload; use the SynthRoute entry point with
+ * `SynthRoute::local(&cache)`. Kept as a thin shim so out-of-tree
+ * callers keep building.
+ */
+[[deprecated("use transpileCircuit(..., SynthRoute::local(&cache), "
+             "opts)")]]
 TranspileResult transpileCircuit(const Circuit &logical,
                                  const CouplingMap &cm,
                                  const std::vector<EdgeBasis> &bases,
@@ -58,11 +77,10 @@ TranspileResult transpileCircuit(const Circuit &logical,
                                  const TranspileOptions &opts = {});
 
 /**
- * Fleet-mode pipeline: synthesis is batched through `client` (a
- * per-shard engine bound to the fleet-wide shared cache), so
- * compiling the same circuit against identical bases on another
- * device reuses every Weyl-class decomposition.
+ * @deprecated Legacy fleet-mode overload; use the SynthRoute entry
+ * point with `SynthRoute(client)`.
  */
+[[deprecated("use transpileCircuit(..., SynthRoute(client), opts)")]]
 TranspileResult transpileCircuit(const Circuit &logical,
                                  const CouplingMap &cm,
                                  const std::vector<EdgeBasis> &bases,

@@ -14,6 +14,7 @@
 #include "core/criteria.hpp"
 #include "core/experiment.hpp"
 #include "core/selector.hpp"
+#include "serve/api.hpp"
 #include "weyl/gates.hpp"
 
 namespace qbasis {
@@ -253,15 +254,17 @@ TEST_F(SmallDeviceExperiment, SummaryMatchesPaperShapes)
 TEST_F(SmallDeviceExperiment, CompiledCircuitFidelityOrdering)
 {
     DecompositionCache cache_ns, cache_base;
-    const TranspileOptions topts;
     const Circuit bench = bvAllOnesCircuit(4);
+    const CompileRequest req(1, 0, "bv4", bench);
 
-    const CompiledCircuitResult ns =
-        compileAndScore(device(), nonstandardSet(), cache_ns, bench,
-                        topts, 20.0, 80e3);
-    const CompiledCircuitResult base =
-        compileAndScore(device(), baselineSet(), cache_base, bench,
-                        topts, 20.0, 80e3);
+    const CompileResponse resp_ns = runCompile(
+        device(), nonstandardSet(), SynthRoute::local(&cache_ns), req);
+    const CompileResponse resp_base = runCompile(
+        device(), baselineSet(), SynthRoute::local(&cache_base), req);
+    ASSERT_EQ(resp_ns.status, CompileStatus::Ok);
+    ASSERT_EQ(resp_base.status, CompileStatus::Ok);
+    const CompiledCircuitResult &ns = resp_ns.result;
+    const CompiledCircuitResult &base = resp_base.result;
 
     EXPECT_GT(ns.fidelity, base.fidelity);
     EXPECT_LT(ns.makespan_ns, base.makespan_ns);

@@ -24,6 +24,7 @@
 
 #include "apps/qft.hpp"
 #include "core/fleet.hpp"
+#include "serve/compile_service.hpp"
 #include "synth/textbook.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
@@ -123,6 +124,12 @@ edgeBasesBitIdentical(const CalibrationSnapshot &a,
 
 TEST_F(FaultTest, EveryLayerRegistersItsSites)
 {
+    // The serving layer's site registers from compile_service.cpp's
+    // static initializer; reference the type so the linker keeps that
+    // TU in this binary.
+    const CompileService serve_layer_anchor;
+    (void)serve_layer_anchor;
+
     const std::vector<std::string> sites = registeredFaultSites();
     const auto has = [&](const char *name) {
         for (const std::string &s : sites)
@@ -136,6 +143,7 @@ TEST_F(FaultTest, EveryLayerRegistersItsSites)
     EXPECT_TRUE(has("synth.restart"));
     EXPECT_TRUE(has("synth.fallback"));
     EXPECT_TRUE(has("fleet.load_cache"));
+    EXPECT_TRUE(has("serve.admit"));
 }
 
 TEST_F(FaultTest, FireDecisionIsAPureFunctionOfThePlan)

@@ -45,7 +45,7 @@ TEST(Integration, QftAdderCompiledOnLineStillAdds)
     const auto bases = uniformBases(cm, sqrtIswapGate(), 50.0);
     DecompositionCache cache;
     const TranspileResult compiled =
-        transpileCircuit(adder, cm, bases, cache, TranspileOptions{});
+        transpileCircuit(adder, cm, bases, SynthRoute::local(&cache), TranspileOptions{});
 
     const size_t mod = 1u << bits;
     for (size_t a = 0; a < mod; ++a) {
@@ -91,7 +91,7 @@ TEST(Integration, NonstandardBasisCompilesToffoliCorrectly)
     const auto bases = uniformBases(cm, basis, 12.0);
     DecompositionCache cache;
     const TranspileResult compiled =
-        transpileCircuit(c, cm, bases, cache, TranspileOptions{});
+        transpileCircuit(c, cm, bases, SynthRoute::local(&cache), TranspileOptions{});
     // Verify truth table through layouts.
     for (size_t in = 0; in < 8; ++in) {
         Statevector sv(3);
@@ -123,7 +123,7 @@ TEST(Integration, ScheduleDurationMatchesDecompositionModel)
     const auto bases = uniformBases(cm, sqrtIswapGate(), 83.0);
     DecompositionCache cache;
     const TranspileResult compiled =
-        transpileCircuit(c, cm, bases, cache, TranspileOptions{});
+        transpileCircuit(c, cm, bases, SynthRoute::local(&cache), TranspileOptions{});
     const Schedule sched = scheduleAsap(
         compiled.physical, edgeDurationModel(cm, bases, 20.0));
     const TwoQubitDecomposition &dec = cache.getOrSynthesize(
@@ -155,10 +155,12 @@ TEST(Integration, FidelityModelFavorsShorterBasisGates)
     const auto slow = uniformBases(cm, sqrtIswapGate(), 83.0);
     const auto fast = uniformBases(cm, sqrtIswapGate(), 10.0);
     DecompositionCache cache_slow, cache_fast;
-    const TranspileResult cs = transpileCircuit(
-        qft, cm, slow, cache_slow, TranspileOptions{});
-    const TranspileResult cf = transpileCircuit(
-        qft, cm, fast, cache_fast, TranspileOptions{});
+    const TranspileResult cs =
+        transpileCircuit(qft, cm, slow, SynthRoute::local(&cache_slow),
+                         TranspileOptions{});
+    const TranspileResult cf =
+        transpileCircuit(qft, cm, fast, SynthRoute::local(&cache_fast),
+                         TranspileOptions{});
     const double fs = circuitCoherenceFidelity(
         scheduleAsap(cs.physical, edgeDurationModel(cm, slow, 20.0)),
         80e3);
@@ -191,7 +193,7 @@ TEST(Integration, HeterogeneousBasesCompileCorrectly)
     c.cphase(3, 2, 0.7);
     DecompositionCache cache;
     const TranspileResult compiled =
-        transpileCircuit(c, cm, bases, cache, TranspileOptions{});
+        transpileCircuit(c, cm, bases, SynthRoute::local(&cache), TranspileOptions{});
 
     Circuit embedded(4);
     for (const Gate &g : c.gates()) {

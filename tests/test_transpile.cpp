@@ -362,7 +362,7 @@ TEST(Pipeline, EndToEndSmallDevice)
     const Circuit logical = qftCircuit(5);
     DecompositionCache cache;
     const TranspileResult result =
-        transpileCircuit(logical, cm, bases, cache);
+        transpileCircuit(logical, cm, bases, SynthRoute::local(&cache));
 
     // Structure: all 2Q gates are coupled basis gates.
     for (const Gate &g : result.physical.gates()) {
@@ -399,7 +399,7 @@ TEST(Pipeline, ScheduleOfTranspiledCircuit)
     const Circuit logical = qftCircuit(4);
     DecompositionCache cache;
     const TranspileResult result =
-        transpileCircuit(logical, cm, bases, cache);
+        transpileCircuit(logical, cm, bases, SynthRoute::local(&cache));
     const Schedule sched = scheduleAsap(
         result.physical, edgeDurationModel(cm, bases, 20.0));
     EXPECT_GT(sched.makespan, 0.0);
