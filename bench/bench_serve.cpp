@@ -69,10 +69,12 @@
 #include "apps/qaoa.hpp"
 #include "apps/qft.hpp"
 #include "calib/drift.hpp"
+#include "obs/metrics.hpp"
 #include "serve/compile_service.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 
 using namespace qbasis;
 
@@ -214,16 +216,6 @@ struct OpenLoopResult
     bool all_ok = false;
 };
 
-double
-percentile(std::vector<double> sorted, double p)
-{
-    if (sorted.empty())
-        return 0.0;
-    const size_t idx = static_cast<size_t>(
-        p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 /**
  * Open-loop client: arrivals at fixed-seed exponential interarrival
  * times, independent of service-side progress (a closed loop would
@@ -286,9 +278,9 @@ runOpenLoop(CompileService &service, const BenchConfig &cfg)
                                              / r.wall_ms
                                        : 0.0;
     std::sort(latencies.begin(), latencies.end());
-    r.p50_ms = percentile(latencies, 0.50);
-    r.p95_ms = percentile(latencies, 0.95);
-    r.p99_ms = percentile(latencies, 0.99);
+    r.p50_ms = percentileSorted(latencies, 0.50);
+    r.p95_ms = percentileSorted(latencies, 0.95);
+    r.p99_ms = percentileSorted(latencies, 0.99);
     const CompileServiceStats stats = service.stats();
     r.max_queue_depth = stats.max_queue_depth;
     r.batches = stats.batches - warm.batches;
@@ -740,6 +732,9 @@ main(int argc, char **argv)
                                                  : "MISMATCH",
                     fault_bench.quarantined_served_ok ? "yes" : "NO");
     }
+
+    std::printf("\n--- metrics registry (process-wide) ---\n%s",
+                metricsSnapshot().text().c_str());
 
     writeJson("BENCH_serve.json", quick, smoke, cfg, sopts, open, adm,
               det, swap, with_faults ? &fault_bench : nullptr);

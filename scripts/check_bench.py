@@ -2,9 +2,9 @@
 """CI bench-regression gate.
 
 Reads BENCH_synth.json, BENCH_fleet.json, BENCH_recalib.json,
-BENCH_persist.json, BENCH_serve.json, and BENCH_mat4.json (produced
-by the corresponding --quick bench runs) and gates on the floors
-committed in bench/baselines.json:
+BENCH_persist.json, BENCH_serve.json, BENCH_mat4.json, and
+BENCH_obs.json (produced by the corresponding --quick bench runs)
+and gates on the floors committed in bench/baselines.json:
 
   * every workload's engine/serial agreement (results_match),
   * fleet bit-determinism at 1 vs N shards,
@@ -21,6 +21,10 @@ committed in bench/baselines.json:
   * serving: concurrent-vs-serial per-request bit-identity, the
     epoch-swap digest change, reject-with-status admission under
     saturation, and open-loop throughput/p99 sanity bounds,
+  * observability: a ceiling on the disabled-path span cost (the
+    zero-perturbation budget: a few ns) and the enabled-path cost,
+    a valid Chrome-trace export round trip, and byte-identical
+    compile/health/fleet digests traced vs untraced,
   * fault injection (only when the recalib/serve JSON carries a
     "faults" section, i.e. it came from `bench_recalib --faults` /
     `bench_serve --faults`): the same-fault-seed replay must be
@@ -39,7 +43,7 @@ nonzero when any row fails. Pure stdlib.
 Usage: scripts/check_bench.py [--synth PATH] [--fleet PATH]
                               [--recalib PATH] [--persist PATH]
                               [--serve PATH] [--mat4 PATH]
-                              [--baselines PATH]
+                              [--obs PATH] [--baselines PATH]
 """
 
 import argparse
@@ -395,6 +399,48 @@ def check_mat4(bench, base, gate):
         )
 
 
+def check_obs(bench, base, gate):
+    floors = base.get("obs", {})
+    spans = bench.get("spans", {})
+    ceiling = floors.get("max_disabled_ns_per_span")
+    if ceiling is not None:
+        gate.ceiling(
+            "obs.spans.disabled_ns_per_span",
+            spans.get("disabled_ns_per_span", float("inf")),
+            ceiling,
+        )
+    ceiling = floors.get("max_enabled_ns_per_span")
+    if ceiling is not None:
+        gate.ceiling(
+            "obs.spans.enabled_ns_per_span",
+            spans.get("enabled_ns_per_span", float("inf")),
+            ceiling,
+        )
+    if floors.get("require_export_valid"):
+        exp = bench.get("export", {})
+        gate.check(
+            "obs.export.valid",
+            bool(exp.get("valid")),
+            f"{exp.get('events', 0)} events round-trip Chrome JSON",
+            exp.get("valid"),
+        )
+    # The zero-perturbation contract: tracing ON changes no committed
+    # digest (only wall-clock fields may move).
+    if floors.get("require_digest_neutral"):
+        dig = bench.get("digests", {})
+        gate.check(
+            "obs.digests.compile_match",
+            bool(dig.get("compile_match")),
+            f"{dig.get('requests', 0)} responses byte-identical "
+            "traced vs untraced",
+            dig.get("compile_match"),
+        )
+        gate.require(
+            "obs.digests.health_match", dig.get("health_match")
+        )
+        gate.require("obs.digests.fleet_match", dig.get("fleet_match"))
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--synth", default=REPO / "BENCH_synth.json")
@@ -407,6 +453,7 @@ def main():
     )
     parser.add_argument("--serve", default=REPO / "BENCH_serve.json")
     parser.add_argument("--mat4", default=REPO / "BENCH_mat4.json")
+    parser.add_argument("--obs", default=REPO / "BENCH_obs.json")
     parser.add_argument(
         "--baselines", default=REPO / "bench" / "baselines.json"
     )
@@ -429,6 +476,7 @@ def main():
         ("persist", args.persist, check_persist),
         ("serve", args.serve, check_serve),
         ("mat4", args.mat4, check_mat4),
+        ("obs", args.obs, check_obs),
     ):
         try:
             check(load(path), base, gate)

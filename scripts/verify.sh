@@ -6,13 +6,14 @@
 #
 #   --quick    skip the bench pass (bench_synth + bench_fleet +
 #              bench_recalib + bench_persist + bench_serve +
-#              bench_mat4 + scripts/check_bench.py); the mat4, fleet,
-#              recalib, persist, serve, and fault smokes still run so
-#              every matrix job exercises the SIMD kernel bit-identity
-#              check, the sharded driver, the async retune pipeline,
-#              the snapshot round trip, the serving daemon's
-#              admission/determinism contracts, and the degraded-mode
-#              replay contract.
+#              bench_mat4 + bench_obs + scripts/check_bench.py); the
+#              mat4, fleet, recalib, persist, serve, obs, and fault
+#              smokes still run so every matrix job exercises the SIMD
+#              kernel bit-identity check, the sharded driver, the
+#              async retune pipeline, the snapshot round trip, the
+#              serving daemon's admission/determinism contracts, the
+#              tracing zero-perturbation contract, and the
+#              degraded-mode replay contract.
 #
 # Environment:
 #   CMAKE_BUILD_TYPE   build configuration (default Release)
@@ -73,6 +74,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 1200 \
 # admission are the exit code.
 "$BUILD_DIR/bench_serve" --smoke
 
+# Obs smoke: span overhead, exporter round trip, and traced-vs-
+# untraced digest neutrality (the zero-perturbation contract) are
+# the exit code.
+"$BUILD_DIR/bench_obs" --smoke
+
 # Fault smokes: degraded-mode replays under pinned fault seeds (ones
 # that retry, contain, and quarantine at smoke scale; for serve, shed
 # at admission and serve through a fully quarantined fleet). Run
@@ -88,6 +94,7 @@ if [ "$QUICK" = 0 ]; then
   "$BUILD_DIR/bench_persist" --quick
   "$BUILD_DIR/bench_serve" --quick
   "$BUILD_DIR/bench_mat4" --quick
+  "$BUILD_DIR/bench_obs" --quick
   python3 scripts/check_bench.py
 fi
 echo "verify: OK"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "weyl/gates.hpp"
@@ -11,6 +13,31 @@
 namespace qbasis {
 
 namespace {
+
+/** Registry mirrors of the scheduler's retry/quarantine stats. */
+struct RecalibMetrics
+{
+    Counter &scheduled;
+    Counter &completed;
+    Counter &published;
+    Counter &retries;
+    Counter &contained_errors;
+    Counter &quarantine_skipped;
+
+    static RecalibMetrics &
+    instance()
+    {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        static RecalibMetrics m{
+            reg.counter("recalib.scheduled"),
+            reg.counter("recalib.completed"),
+            reg.counter("recalib.published"),
+            reg.counter("recalib.retries"),
+            reg.counter("recalib.contained_errors"),
+            reg.counter("recalib.quarantine_skipped")};
+        return m;
+    }
+};
 
 // One probe per pipeline stage; keys are the logical edge identity,
 // so a fault campaign replays bit-identically at any shard count.
@@ -111,11 +138,13 @@ RecalibScheduler::schedule(RecalibJob job)
                 // a job stamped at/after the release cycle arrives.
                 // The device keeps serving the last-good basis.
                 ++stats_.quarantine_skipped;
+                RecalibMetrics::instance().quarantine_skipped.add();
                 return;
             }
             quarantine_.erase(quarantined);
         }
         ++stats_.scheduled;
+        RecalibMetrics::instance().scheduled.add();
         EdgeQueue &q = queues_[key];
         if (q.running) {
             // The edge already has a pipeline in flight: strict FIFO
@@ -199,6 +228,11 @@ void
 RecalibScheduler::stageSimulate(const std::shared_ptr<Task> &task)
 {
     RecalibJob &job = task->job;
+    QBASIS_TRACE_SCOPE(
+        "recalib.simulate", "device",
+        static_cast<uint64_t>(static_cast<uint32_t>(job.device_id)),
+        "edge",
+        static_cast<uint64_t>(static_cast<uint32_t>(job.edge_id)));
     faultPoint(kFaultRecalibSimulate,
                edgeFaultKey(job.device_id, job.edge_id));
     if (!task->sim) {
@@ -226,6 +260,12 @@ RecalibScheduler::stageSimulate(const std::shared_ptr<Task> &task)
 void
 RecalibScheduler::stageSelect(const std::shared_ptr<Task> &task)
 {
+    QBASIS_TRACE_SCOPE("recalib.select", "device",
+                       static_cast<uint64_t>(static_cast<uint32_t>(
+                           task->job.device_id)),
+                       "edge",
+                       static_cast<uint64_t>(static_cast<uint32_t>(
+                           task->job.edge_id)));
     faultPoint(kFaultRecalibSelect,
                edgeFaultKey(task->job.device_id, task->job.edge_id));
     const std::optional<SelectedBasisGate> sel = selectBasisGate(
@@ -249,6 +289,12 @@ RecalibScheduler::stageSelect(const std::shared_ptr<Task> &task)
 void
 RecalibScheduler::stageResynthesize(const std::shared_ptr<Task> &task)
 {
+    QBASIS_TRACE_SCOPE("recalib.resynth", "device",
+                       static_cast<uint64_t>(static_cast<uint32_t>(
+                           task->job.device_id)),
+                       "edge",
+                       static_cast<uint64_t>(static_cast<uint32_t>(
+                           task->job.edge_id)));
     // Probe before any side effect: a firing probe must leave the
     // edge's published state untouched (no torn publish).
     faultPoint(kFaultRecalibResynth,
@@ -307,6 +353,7 @@ RecalibScheduler::stageResynthesize(const std::shared_ptr<Task> &task)
     basis.duration_ns = cal.gate.duration_ns;
     basis.label = task->job.label;
     task->job.target->publishEdge(cal, basis);
+    RecalibMetrics::instance().published.add();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.published;
@@ -330,11 +377,13 @@ RecalibScheduler::completeTask(const std::shared_ptr<Task> &task,
             // window-extension branch). The edge queue stays
             // `running`, so FIFO order is preserved.
             ++stats_.retries;
+            RecalibMetrics::instance().retries.add();
             next = std::make_shared<Task>();
             next->job = task->job;
             next->retries_used = task->retries_used + 1;
         } else {
             ++stats_.completed;
+            RecalibMetrics::instance().completed.add();
             uint64_t release_cycle = 0;
             bool quarantined = false;
             if (error) {
@@ -343,6 +392,7 @@ RecalibScheduler::completeTask(const std::shared_ptr<Task> &task,
                     // Its device keeps serving the last-good basis;
                     // drain() does not fail.
                     ++stats_.contained_errors;
+                    RecalibMetrics::instance().contained_errors.add();
                     Quarantine &quar = quarantine_[key];
                     quar.since_cycle = task->job.cycle;
                     quar.release_cycle =
@@ -375,6 +425,7 @@ RecalibScheduler::completeTask(const std::shared_ptr<Task> &task,
                 while (!q.pending.empty()
                        && q.pending.front().cycle < release_cycle) {
                     ++stats_.quarantine_skipped;
+                    RecalibMetrics::instance().quarantine_skipped.add();
                     q.pending.pop_front();
                 }
                 if (!q.pending.empty())

@@ -7,6 +7,8 @@
 #include <exception>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/api.hpp"
 #include "util/fault.hpp"
 #include "util/fnv.hpp"
@@ -19,6 +21,26 @@ namespace {
 
 /** Forces loadCache() down its rejected-snapshot quarantine path. */
 const FaultSite kFaultFleetLoadCache("fleet.load_cache");
+
+/** Registry mirrors of the driver's failure-domain counters. */
+struct FleetMetrics
+{
+    Counter &cycles;
+    Counter &compile_passes;
+    Counter &device_failures;
+    Counter &cache_quarantines;
+
+    static FleetMetrics &
+    instance()
+    {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        static FleetMetrics m{reg.counter("fleet.cycles"),
+                              reg.counter("fleet.compile_passes"),
+                              reg.counter("fleet.device_failures"),
+                              reg.counter("fleet.cache_quarantines")};
+        return m;
+    }
+};
 
 bool
 mat4BitIdentical(const Mat4 &a, const Mat4 &b)
@@ -423,6 +445,7 @@ FleetDriver::run(const std::vector<FleetDeviceSpec> &specs,
                  d, report.devices[di].label.c_str(),
                  status.error.c_str());
             device_failures_.fetch_add(1);
+            FleetMetrics::instance().device_failures.add();
             std::lock_guard<std::mutex> lock(health_mutex_);
             if (d < first_device_error_id_) {
                 first_device_error_id_ = d;
@@ -638,6 +661,7 @@ FleetDriver::loadCache(const std::string &path)
              path.c_str(), status_name, r.message.c_str());
     }
     cache_quarantines_.fetch_add(1);
+    FleetMetrics::instance().cache_quarantines.add();
     {
         std::lock_guard<std::mutex> lock(health_mutex_);
         last_cache_quarantine_ = status_name;
@@ -700,6 +724,9 @@ FleetDriver::cacheManifest() const
 FleetCompilePass
 FleetDriver::compileCircuits(const std::vector<FleetCircuit> &circuits)
 {
+    QBASIS_TRACE_SCOPE("fleet.compile_pass", "circuits",
+                       circuits.size(), "devices", devices_.size());
+    FleetMetrics::instance().compile_passes.add();
     const auto t0 = std::chrono::steady_clock::now();
     FleetCompilePass pass;
     pass.results.resize(devices_.size());
@@ -745,6 +772,8 @@ RecalibCycleReport
 FleetDriver::cycleReport(uint64_t cycle,
                          const std::vector<FleetCircuit> &verify)
 {
+    QBASIS_TRACE_SCOPE("fleet.cycle", "cycle", cycle);
+    FleetMetrics::instance().cycles.add();
     RecalibCycleReport report;
     report.cycle = cycle;
     report.devices.resize(devices_.size());
@@ -812,6 +841,14 @@ FleetDriver::cycleReport(uint64_t cycle,
         health.max_stale_cycles =
             std::max(health.max_stale_cycles, quar.stale_cycles);
     }
+    // Cycle-level observability: the unified registry view rides
+    // along with every cycle report at Debug verbosity. Strictly a
+    // reporting side channel -- nothing here feeds the report's
+    // bit-identity digests.
+    if (logLevel() >= LogLevel::Debug)
+        debugLog("fleet cycle %llu metrics:\n%s",
+                 static_cast<unsigned long long>(cycle),
+                 metricsSnapshot().text().c_str());
     return report;
 }
 

@@ -1,0 +1,169 @@
+#ifndef QBASIS_OBS_METRICS_HPP
+#define QBASIS_OBS_METRICS_HPP
+
+/**
+ * @file
+ * Process-wide MetricsRegistry: named monotonic counters, gauges,
+ * and log-bucketed histograms, in the spirit of c10d's monitored
+ * flight-recorder counters.
+ *
+ * The registry unifies the serving stack's previously ad-hoc stats:
+ * CompileService, SynthEngine, the shared decomposition cache, and
+ * the recalibration scheduler all mirror their counters here under
+ * stable dotted names (see the catalog in README "Observability"),
+ * so one `metricsSnapshot()` reports the whole stack. The legacy
+ * per-instance structs (`CompileServiceStats`, `SynthEngine::Stats`,
+ * ...) remain the authoritative inputs of the bit-identity digests;
+ * registry values track them exactly on any fixed workload
+ * (asserted in tests/test_obs).
+ *
+ * Hot-path cost: call sites hold a `static Counter &` resolved once
+ * through instance(), so recording is a single relaxed fetch_add --
+ * always on, and numerically invisible (counters never feed digest
+ * or result math; the zero-perturbation contract is gated by
+ * bench_obs + the obs-determinism CI job).
+ *
+ * Lifetime: metric references returned by counter()/gauge()/
+ * histogram() are stable for the process lifetime. reset() zeroes
+ * values but never invalidates references (tests and bench windows).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace qbasis {
+
+/** Monotonic counter (relaxed atomic). */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Concurrent log2-bucketed histogram; snapshot() yields the plain
+ *  util/stats LogHistogram for percentile math. */
+class Histogram
+{
+  public:
+    void
+    record(uint64_t value)
+    {
+        buckets_[static_cast<size_t>(logBucketIndex(value))].fetch_add(
+            1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+    }
+
+    LogHistogram snapshot() const;
+
+    void reset();
+
+  private:
+    std::atomic<uint64_t> buckets_[kLogHistogramBuckets] = {};
+    std::atomic<uint64_t> sum_{0};
+};
+
+/** Point-in-time copy of every registered metric, sorted by name. */
+struct MetricsSnapshot
+{
+    struct CounterValue
+    {
+        std::string name;
+        uint64_t value = 0;
+    };
+
+    struct GaugeValue
+    {
+        std::string name;
+        double value = 0.0;
+    };
+
+    struct HistogramValue
+    {
+        std::string name;
+        LogHistogram hist;
+    };
+
+    std::vector<CounterValue> counters;
+    std::vector<GaugeValue> gauges;
+    std::vector<HistogramValue> histograms;
+
+    /** Value of a counter by name (0 when absent). */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** Human-readable multi-line table. */
+    std::string text() const;
+
+    /** Single JSON object: {"counters":{...},"gauges":{...},
+     *  "histograms":{name:{count,sum,mean,p50,p95,p99}}}. */
+    std::string json() const;
+};
+
+/** Global name -> metric registry. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Find-or-create; the reference is stable forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    MetricsSnapshot snapshot() const;
+
+    /** Zero every value (references stay valid). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+/** Snapshot of the global registry. */
+MetricsSnapshot metricsSnapshot();
+
+} // namespace qbasis
+
+#endif // QBASIS_OBS_METRICS_HPP

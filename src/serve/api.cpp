@@ -5,6 +5,7 @@
 
 #include "circuit/schedule.hpp"
 #include "noise/coherence.hpp"
+#include "obs/trace.hpp"
 #include "util/fnv.hpp"
 
 namespace qbasis {
@@ -81,6 +82,11 @@ CompileResponse
 runCompile(const GridDevice &device, const CalibratedBasisSet &set,
            const SynthRoute &route, const CompileRequest &req)
 {
+    // Root correlation for direct callers (the service's serveOne
+    // sets the same id one frame up; re-setting is idempotent).
+    TraceCorrelation correlation(req.request_id);
+    QBASIS_TRACE_SCOPE("compile.run", "request_id", req.request_id,
+                       "gates", req.circuit.size());
     CompileResponse resp;
     resp.request_id = req.request_id;
     const auto t0 = std::chrono::steady_clock::now();
@@ -89,6 +95,7 @@ runCompile(const GridDevice &device, const CalibratedBasisSet &set,
         const TranspileResult compiled =
             transpileCircuit(req.circuit, cm, set.bases, route,
                              req.options.transpile);
+        QBASIS_TRACE_SCOPE("compile.schedule");
         const Schedule sched = scheduleAsap(
             compiled.physical,
             edgeDurationModel(cm, set.bases, req.options.t_1q_ns));
@@ -119,8 +126,13 @@ runCompile(const GridDevice &device,
            const VersionedBasisSet &calibration, const SynthRoute &route,
            const CompileRequest &req)
 {
+    TraceCorrelation correlation(req.request_id);
     const auto t0 = std::chrono::steady_clock::now();
-    const CalibrationSnapshot snap = calibration.snapshot();
+    const CalibrationSnapshot snap = [&] {
+        QBASIS_TRACE_SCOPE("compile.snapshot", "request_id",
+                           req.request_id);
+        return calibration.snapshot();
+    }();
     const double wait_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count();

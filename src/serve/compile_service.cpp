@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
 
@@ -15,6 +17,37 @@ namespace {
  *  decisions are per-request and replay bit-identically regardless
  *  of client-thread interleaving. */
 const FaultSite kFaultServeAdmit("serve.admit");
+
+/** Registry mirrors of the per-service counters (global: several
+ *  service instances aggregate into one process-wide view). */
+struct ServeMetrics
+{
+    Counter &submitted;
+    Counter &admitted;
+    Counter &rejected;
+    Counter &completed;
+    Counter &failed;
+    Counter &batches;
+    Histogram &queue_us;
+    Histogram &compile_us;
+    Histogram &batch_size;
+
+    static ServeMetrics &
+    instance()
+    {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        static ServeMetrics m{reg.counter("serve.submitted"),
+                              reg.counter("serve.admitted"),
+                              reg.counter("serve.rejected"),
+                              reg.counter("serve.completed"),
+                              reg.counter("serve.failed"),
+                              reg.counter("serve.batches"),
+                              reg.histogram("serve.queue_us"),
+                              reg.histogram("serve.compile_us"),
+                              reg.histogram("serve.batch_size")};
+        return m;
+    }
+};
 
 } // namespace
 
@@ -46,7 +79,10 @@ CompileService::start(const std::vector<FleetDeviceSpec> &specs)
     }
     dispatchers_.reserve(static_cast<size_t>(opts_.dispatchers));
     for (int i = 0; i < opts_.dispatchers; ++i)
-        dispatchers_.emplace_back([this] { dispatchLoop(); });
+        dispatchers_.emplace_back([this, i] {
+            setTraceThreadName("dispatcher-" + std::to_string(i));
+            dispatchLoop();
+        });
     inform("CompileService: serving %zu devices "
            "(queue %zu, %d dispatchers, batch %zu)",
            driver_.deviceCount(), opts_.queue_capacity,
@@ -94,6 +130,10 @@ CompileService::rejectResponse(const CompileRequest &req,
 std::future<CompileResponse>
 CompileService::submit(CompileRequest req)
 {
+    QBASIS_TRACE_SCOPE("serve.admit", "request_id", req.request_id,
+                       "device",
+                       static_cast<uint64_t>(
+                           static_cast<uint32_t>(req.device_id)));
     // One options set = one shared-cache context: requests compile
     // with the fleet's synthesis options, exactly like the batch
     // compileCircuits() path.
@@ -113,24 +153,37 @@ CompileService::submit(CompileRequest req)
         reject_why = e.what();
     }
 
+    ServeMetrics &metrics = ServeMetrics::instance();
+    // `submitted` is incremented before the admit/reject outcome and
+    // the outcome counter before the queue push; snapshot() reads in
+    // the reverse order, which is what makes mid-flight views
+    // coherent.
+    counters_.submitted.fetch_add(1);
+    metrics.submitted.add();
+
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.submitted;
     if (reject_why.empty() && !accepting_)
         reject_why = "service not accepting requests";
     if (reject_why.empty() && queue_.size() >= opts_.queue_capacity)
         reject_why = "admission queue full (capacity "
                      + std::to_string(opts_.queue_capacity) + ")";
     if (!reject_why.empty()) {
-        ++stats_.rejected;
+        counters_.rejected.fetch_add(1);
+        metrics.rejected.add();
         pending.promise.set_value(
             rejectResponse(pending.req, std::move(reject_why)));
         return fut;
     }
 
-    ++stats_.admitted;
+    counters_.admitted.fetch_add(1);
+    metrics.admitted.add();
     queue_.push_back(std::move(pending));
-    stats_.max_queue_depth = std::max<uint64_t>(
-        stats_.max_queue_depth, queue_.size());
+    const uint64_t depth = queue_.size();
+    uint64_t high = counters_.max_queue_depth.load();
+    while (depth > high
+           && !counters_.max_queue_depth.compare_exchange_weak(
+               high, depth)) {
+    }
     cv_.notify_one();
     return fut;
 }
@@ -145,6 +198,13 @@ void
 CompileService::serveOne(PendingRequest &pending,
                          const SynthClient &client)
 {
+    // Correlate everything underneath (transpile, synth batches,
+    // cache claim/publish/wait) with this request's id.
+    TraceCorrelation correlation(pending.req.request_id);
+    QBASIS_TRACE_SCOPE("serve.compile", "request_id",
+                       pending.req.request_id, "device",
+                       static_cast<uint64_t>(static_cast<uint32_t>(
+                           pending.req.device_id)));
     const auto dispatched = std::chrono::steady_clock::now();
     CompileResponse resp;
     try {
@@ -163,12 +223,19 @@ CompileService::serveOne(PendingRequest &pending,
     resp.queue_ms = std::chrono::duration<double, std::milli>(
                         dispatched - pending.enqueued)
                         .count();
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.completed;
-        if (resp.status == CompileStatus::Failed)
-            ++stats_.failed;
+    ServeMetrics &metrics = ServeMetrics::instance();
+    metrics.queue_us.record(
+        static_cast<uint64_t>(std::max(0.0, resp.queue_ms * 1000.0)));
+    metrics.compile_us.record(static_cast<uint64_t>(
+        std::max(0.0, resp.compile_ms * 1000.0)));
+    // `failed` before `completed`, the reverse of snapshot()'s read
+    // order, so failed <= completed in any mid-flight view.
+    if (resp.status == CompileStatus::Failed) {
+        counters_.failed.fetch_add(1);
+        metrics.failed.add();
     }
+    counters_.completed.fetch_add(1);
+    metrics.completed.add();
     pending.promise.set_value(std::move(resp));
 }
 
@@ -191,8 +258,12 @@ CompileService::dispatchLoop()
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
             }
-            ++stats_.batches;
+            counters_.batches.fetch_add(1);
         }
+        ServeMetrics &metrics = ServeMetrics::instance();
+        metrics.batches.add();
+        metrics.batch_size.record(batch.size());
+        QBASIS_TRACE_SCOPE("serve.dispatch", "batch", batch.size());
         // One engine per dispatch round: the round's requests batch
         // their class syntheses on the shared pool and publish into
         // the fleet-wide cache, so concurrent rounds (and devices)
@@ -233,10 +304,25 @@ CompileService::queueDepth() const
 }
 
 CompileServiceStats
-CompileService::stats() const
+CompileService::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    // Load in the *reverse* of the increment order (outcome counters
+    // first, their prerequisites last). Every increment of a
+    // dependent counter is preceded by the increment it depends on
+    // (failed -> completed -> admitted -> submitted, rejected ->
+    // submitted), and all counters are monotonic, so reading the
+    // dependency *after* its dependent can only over-satisfy the
+    // invariants: submitted >= admitted + rejected and
+    // admitted >= completed >= failed hold in any mid-flight view.
+    CompileServiceStats s;
+    s.failed = counters_.failed.load();
+    s.completed = counters_.completed.load();
+    s.batches = counters_.batches.load();
+    s.max_queue_depth = counters_.max_queue_depth.load();
+    s.rejected = counters_.rejected.load();
+    s.admitted = counters_.admitted.load();
+    s.submitted = counters_.submitted.load();
+    return s;
 }
 
 } // namespace qbasis

@@ -44,6 +44,7 @@
  * drills; see bench_serve --faults.
  */
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -71,7 +72,14 @@ struct CompileServiceOptions
     size_t max_batch = 8;
 };
 
-/** Serving-side counters (monotonic since construction). */
+/**
+ * Serving-side counters (monotonic since construction). Obtained
+ * through CompileService::snapshot(), which guarantees a *coherent*
+ * mid-flight view: submitted >= admitted + rejected,
+ * admitted >= completed >= failed (asserted in tests/test_serve).
+ * The same counters are mirrored into the global MetricsRegistry
+ * under serve.* names (obs/metrics.hpp).
+ */
 struct CompileServiceStats
 {
     uint64_t submitted = 0; ///< submit() calls.
@@ -137,7 +145,19 @@ class CompileService
     /** Queue depth right now (diagnostics). */
     size_t queueDepth() const;
 
-    CompileServiceStats stats() const;
+    /**
+     * Coherent point-in-time view of the serving counters. Counters
+     * are lock-free atomics; coherence comes from load order against
+     * the increment order (submitted is bumped before the
+     * admit/reject outcome, admission before completion), so a
+     * snapshot taken mid-flight still satisfies
+     * submitted >= admitted + rejected and
+     * admitted >= completed >= failed.
+     */
+    CompileServiceStats snapshot() const;
+
+    /** Alias of snapshot() (historical name). */
+    CompileServiceStats stats() const { return snapshot(); }
 
     /** The owned fleet (cache persistence, manifests, reports). */
     FleetDriver &driver() { return driver_; }
@@ -161,12 +181,25 @@ class CompileService
     CompileServiceOptions opts_;
     FleetDriver driver_;
 
-    mutable std::mutex mutex_; ///< Guards queue_, accepting_, stats_.
+    mutable std::mutex mutex_; ///< Guards queue_, accepting_.
     std::condition_variable cv_;
     std::deque<PendingRequest> queue_;
     bool accepting_ = false; ///< submit() admits only when true.
     bool draining_ = false;  ///< Dispatchers exit once queue empties.
-    CompileServiceStats stats_;
+
+    /** Lock-free serving counters; see snapshot() for the coherence
+     *  contract. seq_cst increments keep the load-order argument
+     *  simple (all on cold control paths). */
+    struct
+    {
+        std::atomic<uint64_t> submitted{0};
+        std::atomic<uint64_t> admitted{0};
+        std::atomic<uint64_t> rejected{0};
+        std::atomic<uint64_t> completed{0};
+        std::atomic<uint64_t> failed{0};
+        std::atomic<uint64_t> batches{0};
+        std::atomic<uint64_t> max_queue_depth{0};
+    } counters_;
 
     std::vector<std::thread> dispatchers_;
 };

@@ -12,6 +12,8 @@
 
 #include "linalg/mat4_kernels.hpp"
 #include "monodromy/depth.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "synth/depth_cache.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
@@ -25,6 +27,32 @@ namespace {
 const FaultSite kFaultSynthRestart("synth.restart");
 /** The phase-3b serial re-claim fallback after an owner abandoned. */
 const FaultSite kFaultSynthFallback("synth.fallback");
+
+/** Registry mirrors of the engine's atomic counters (aggregated
+ *  process-wide across engine instances; per-instance values stay in
+ *  SynthEngine::Stats). */
+struct SynthMetrics
+{
+    Counter &batches;
+    Counter &requests;
+    Counter &jobs;
+    Counter &restarts_run;
+    Counter &restarts_pruned;
+    Counter &restarts_failed;
+
+    static SynthMetrics &
+    instance()
+    {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        static SynthMetrics m{reg.counter("synth.batches"),
+                              reg.counter("synth.requests"),
+                              reg.counter("synth.jobs"),
+                              reg.counter("synth.restarts_run"),
+                              reg.counter("synth.restarts_pruned"),
+                              reg.counter("synth.restarts_failed")};
+        return m;
+    }
+};
 
 /** Result slot of one restart in the current wave. */
 struct RestartSlot
@@ -124,11 +152,19 @@ BatchState::launchWave(ClassJob &job)
     job.slots.assign(static_cast<size_t>(restarts), RestartSlot{});
     job.min_success.store(INT_MAX);
     job.remaining.store(restarts);
+    // Thread-pool closures re-establish the submitter's request
+    // correlation so a request's restart spans stay on its track
+    // even though they run on pool workers.
+    const uint64_t corr = currentTraceCorrelation();
     int submitted = 0;
     try {
         for (int r = 0; r < restarts; ++r) {
-            pool.submit([this, &job, r] { runRestart(job, r); },
-                        priority);
+            pool.submit(
+                [this, &job, r, corr] {
+                    TraceCorrelation correlation(corr);
+                    runRestart(job, r);
+                },
+                priority);
             ++submitted;
         }
     } catch (...) {
@@ -161,11 +197,16 @@ BatchState::runRestart(ClassJob &job, int restart)
         if (should_stop()) {
             slot.aborted = true;
             restarts_pruned.fetch_add(1, std::memory_order_relaxed);
+            SynthMetrics::instance().restarts_pruned.add();
             if (job.remaining.fetch_sub(1) == 1)
                 reduceWave(job);
             return;
         }
         restarts_run.fetch_add(1, std::memory_order_relaxed);
+        SynthMetrics::instance().restarts_run.add();
+        QBASIS_TRACE_SCOPE("synth.restart", "context",
+                           job.key.context, "restart",
+                           static_cast<uint64_t>(restart));
         // Keyed by logical identity (class, depth, restart index) so
         // the fire decision replays across thread interleavings.
         faultPoint(kFaultSynthRestart,
@@ -200,6 +241,7 @@ BatchState::runRestart(ClassJob &job, int restart)
         slot.aborted = true;
         slot.error = std::current_exception();
         restarts_failed.fetch_add(1, std::memory_order_relaxed);
+        SynthMetrics::instance().restarts_failed.add();
     }
     if (job.remaining.fetch_sub(1) == 1)
         reduceWave(job);
@@ -292,6 +334,7 @@ BatchState::reduceWave(ClassJob &job)
 void
 BatchState::startJob(ClassJob &job)
 {
+    QBASIS_TRACE_SCOPE("synth.job", "context", job.key.context);
     try {
         int start = 1;
         if (opts.use_depth_prediction) {
@@ -363,12 +406,19 @@ runJobsOnPool(ThreadPool &pool, const SynthOptions &opts,
 {
     if (jobs.empty())
         return;
+    SynthMetrics::instance().jobs.add(jobs.size());
     BatchState state(pool, opts, priority, restarts_run,
                      restarts_pruned, restarts_failed);
     state.jobs_remaining = jobs.size();
+    const uint64_t corr = currentTraceCorrelation();
     for (auto &job : jobs) {
         ClassJob *j = job.get();
-        pool.submit([&state, j] { state.startJob(*j); }, priority);
+        pool.submit(
+            [&state, j, corr] {
+                TraceCorrelation correlation(corr);
+                state.startJob(*j);
+            },
+            priority);
     }
     std::unique_lock<std::mutex> lock(state.mutex);
     state.done_cv.wait(lock,
@@ -433,6 +483,9 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     std::vector<TwoQubitDecomposition> results(n);
     if (n == 0)
         return results;
+    QBASIS_TRACE_SCOPE("synth.batch", "requests", n);
+    SynthMetrics::instance().batches.add();
+    SynthMetrics::instance().requests.add(n);
 
     // Phase 1: canonical KAK of every target (embarrassingly
     // parallel; deterministic because results land in per-index
@@ -492,6 +545,11 @@ SynthEngine::synthesizeBatch(const std::vector<SynthRequest> &requests,
     std::vector<TwoQubitDecomposition> results(n);
     if (n == 0)
         return results;
+    QBASIS_TRACE_SCOPE("synth.batch", "requests", n, "device",
+                       static_cast<uint64_t>(
+                           static_cast<uint32_t>(device_id)));
+    SynthMetrics::instance().batches.add();
+    SynthMetrics::instance().requests.add(n);
 
     // Phase 1: canonical KAK of every target.
     std::vector<CanonicalKak> kaks(n);

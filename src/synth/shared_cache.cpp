@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -18,6 +20,29 @@ hashKey(const DecompositionCache::ClassKey &key)
     h = Rng::deriveSeed(h, static_cast<uint64_t>(key.qy));
     return Rng::deriveSeed(h, static_cast<uint64_t>(key.qz));
 }
+
+/** Registry mirrors of the cache's hit/miss atomics plus the
+ *  claim-protocol traffic counters. */
+struct CacheMetrics
+{
+    Counter &hits;
+    Counter &misses;
+    Counter &waits;
+    Counter &publishes;
+    Counter &abandons;
+
+    static CacheMetrics &
+    instance()
+    {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        static CacheMetrics m{reg.counter("cache.hits"),
+                              reg.counter("cache.misses"),
+                              reg.counter("cache.waits"),
+                              reg.counter("cache.publishes"),
+                              reg.counter("cache.abandons")};
+        return m;
+    }
+};
 
 } // namespace
 
@@ -59,6 +84,8 @@ SharedDecompositionCache::acquire(const ClassKey &key, int device,
                                   uint64_t lookups,
                                   const TwoQubitDecomposition **out)
 {
+    QBASIS_TRACE_SCOPE("cache.claim", "context", key.context);
+    CacheMetrics &metrics = CacheMetrics::instance();
     Stripe &s = stripeOf(key);
     std::lock_guard<std::mutex> lock(s.mutex);
     auto [it, inserted] = s.entries.try_emplace(key);
@@ -67,12 +94,16 @@ SharedDecompositionCache::acquire(const ClassKey &key, int device,
         // One miss for the claim; the remaining batched lookups of
         // this class are hits against the about-to-exist entry.
         misses_.fetch_add(1, std::memory_order_relaxed);
-        if (lookups > 1)
+        metrics.misses.add();
+        if (lookups > 1) {
             hits_.fetch_add(lookups - 1, std::memory_order_relaxed);
+            metrics.hits.add(lookups - 1);
+        }
         return Claim::Owner;
     }
     if (it->second.ready) {
         hits_.fetch_add(lookups, std::memory_order_relaxed);
+        metrics.hits.add(lookups);
         if (out != nullptr)
             *out = &it->second.dec;
         return Claim::Ready;
@@ -84,6 +115,8 @@ const TwoQubitDecomposition *
 SharedDecompositionCache::publish(const ClassKey &key,
                                   TwoQubitDecomposition dec)
 {
+    QBASIS_TRACE_SCOPE("cache.publish", "context", key.context);
+    CacheMetrics::instance().publishes.add();
     Stripe &s = stripeOf(key);
     std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.entries.find(key);
@@ -98,6 +131,7 @@ SharedDecompositionCache::publish(const ClassKey &key,
 void
 SharedDecompositionCache::abandon(const ClassKey &key)
 {
+    CacheMetrics::instance().abandons.add();
     Stripe &s = stripeOf(key);
     std::lock_guard<std::mutex> lock(s.mutex);
     const auto it = s.entries.find(key);
@@ -110,6 +144,12 @@ SharedDecompositionCache::abandon(const ClassKey &key)
 const TwoQubitDecomposition *
 SharedDecompositionCache::wait(const ClassKey &key, uint64_t lookups)
 {
+    // The span brackets the whole blocking wait: on a slow-tail
+    // trace, time spent here is time spent waiting for another
+    // client's claim, not this request's own synthesis.
+    QBASIS_TRACE_SCOPE("cache.wait", "context", key.context);
+    CacheMetrics &metrics = CacheMetrics::instance();
+    metrics.waits.add();
     Stripe &s = stripeOf(key);
     std::unique_lock<std::mutex> lock(s.mutex);
     for (;;) {
@@ -118,6 +158,7 @@ SharedDecompositionCache::wait(const ClassKey &key, uint64_t lookups)
             return nullptr; // owner abandoned; caller re-acquires
         if (it->second.ready) {
             hits_.fetch_add(lookups, std::memory_order_relaxed);
+            metrics.hits.add(lookups);
             return &it->second.dec;
         }
         s.cv.wait(lock);

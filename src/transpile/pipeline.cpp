@@ -1,5 +1,6 @@
 #include "transpile/pipeline.hpp"
 
+#include "obs/trace.hpp"
 #include "synth/engine.hpp"
 #include "transpile/merge_1q.hpp"
 
@@ -10,17 +11,24 @@ transpileCircuit(const Circuit &logical, const CouplingMap &cm,
                  const std::vector<EdgeBasis> &bases,
                  const SynthRoute &route, const TranspileOptions &opts)
 {
+    QBASIS_TRACE_SCOPE("transpile.pipeline", "gates", logical.size(),
+                       "qubits",
+                       static_cast<uint64_t>(logical.numQubits()));
     TranspileResult result;
 
     const std::vector<int> layout =
         sabreLayout(logical, cm, opts.layout_iterations, opts.sabre);
-    RoutedCircuit routed = sabreRoute(logical, cm, layout, opts.sabre);
+    RoutedCircuit routed = [&] {
+        QBASIS_TRACE_SCOPE("transpile.route");
+        return sabreRoute(logical, cm, layout, opts.sabre);
+    }();
 
     result.initial_layout = routed.initial_layout;
     result.final_layout = routed.final_layout;
     result.swaps_inserted = routed.swaps_inserted;
 
     const Circuit merged = mergeSingleQubitRuns(routed.circuit);
+    QBASIS_TRACE_SCOPE("transpile.translate", "gates", merged.size());
     Circuit translated{merged.numQubits()};
     if (route.isFleet()) {
         translated =

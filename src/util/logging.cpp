@@ -1,5 +1,7 @@
 #include "util/logging.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <stdexcept>
 #include <vector>
@@ -9,6 +11,13 @@ namespace qbasis {
 namespace {
 
 LogLevel g_level = LogLevel::Inform;
+
+std::chrono::steady_clock::time_point
+logEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
 
 std::string
 vformat(const char *fmt, va_list ap)
@@ -24,13 +33,38 @@ vformat(const char *fmt, va_list ap)
     return std::string(buf.data(), static_cast<size_t>(n));
 }
 
+/**
+ * Every line carries a monotonic [seconds.ms] timestamp and the
+ * caller's small thread id so interleaved shard/dispatcher output
+ * stays attributable. Level gating happens in the callers, so
+ * LogLevel::Silent keeps the stream truly silent.
+ */
 void
 emit(const char *prefix, const std::string &msg)
 {
-    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    std::fprintf(stderr, "[%11.3f] [T%02u] %s%s\n",
+                 logElapsedMs() / 1000.0, threadLogId(), prefix,
+                 msg.c_str());
 }
 
 } // namespace
+
+uint32_t
+threadLogId()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local const uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+double
+logElapsedMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - logEpoch())
+        .count();
+}
 
 void
 setLogLevel(LogLevel level)

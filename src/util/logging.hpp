@@ -12,9 +12,22 @@
  */
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace qbasis {
+
+/**
+ * Small sequential id of the calling thread (first caller gets 0).
+ * Stable for the thread's lifetime; stamped onto every log line and
+ * reused as the `tid` of trace exports (obs/trace.hpp) so log output
+ * and Perfetto tracks attribute to the same thread numbers.
+ */
+uint32_t threadLogId();
+
+/** Monotonic milliseconds since the first logging/trace call in this
+ *  process -- the timestamp prefixed to every log line. */
+double logElapsedMs();
 
 /** Verbosity levels for the global logger. */
 enum class LogLevel { Silent = 0, Warn = 1, Inform = 2, Debug = 3 };

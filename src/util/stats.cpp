@@ -62,4 +62,104 @@ median(std::vector<double> v)
     return 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+int
+logBucketIndex(uint64_t value)
+{
+    int b = 0;
+    while (value != 0) {
+        ++b;
+        value >>= 1;
+    }
+    return b;
+}
+
+uint64_t
+logBucketLowerBound(int b)
+{
+    if (b <= 0)
+        return 0;
+    return uint64_t{1} << (b - 1);
+}
+
+uint64_t
+logBucketUpperBound(int b)
+{
+    if (b <= 0)
+        return 0;
+    if (b >= 64)
+        return ~uint64_t{0};
+    return (uint64_t{1} << b) - 1;
+}
+
+void
+LogHistogram::record(uint64_t value)
+{
+    ++buckets_[static_cast<size_t>(logBucketIndex(value))];
+    ++count_;
+    sum_ += value;
+}
+
+void
+LogHistogram::accumulateBucket(int b, uint64_t n)
+{
+    if (b < 0 || b >= kLogHistogramBuckets)
+        return;
+    buckets_[static_cast<size_t>(b)] += n;
+    count_ += n;
+}
+
+double
+LogHistogram::mean() const
+{
+    return count_ > 0 ? static_cast<double>(sum_)
+                            / static_cast<double>(count_)
+                      : 0.0;
+}
+
+uint64_t
+LogHistogram::bucketCount(int b) const
+{
+    if (b < 0 || b >= kLogHistogramBuckets)
+        return 0;
+    return buckets_[static_cast<size_t>(b)];
+}
+
+int
+LogHistogram::percentileBucket(double p) const
+{
+    if (count_ == 0)
+        return -1;
+    p = std::min(1.0, std::max(0.0, p));
+    // Nearest-rank: the smallest bucket whose cumulative count
+    // reaches ceil(p * count) (rank 1 for p == 0).
+    const double exact = p * static_cast<double>(count_);
+    uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
+    if (rank == 0)
+        rank = 1;
+    uint64_t cum = 0;
+    for (int b = 0; b < kLogHistogramBuckets; ++b) {
+        cum += buckets_[static_cast<size_t>(b)];
+        if (cum >= rank)
+            return b;
+    }
+    return kLogHistogramBuckets - 1;
+}
+
+uint64_t
+LogHistogram::percentile(double p) const
+{
+    const int b = percentileBucket(p);
+    return b < 0 ? 0 : logBucketUpperBound(b);
+}
+
 } // namespace qbasis

@@ -6,7 +6,9 @@
  * Small summary-statistics helpers used by benches and reports.
  */
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace qbasis {
@@ -53,6 +55,75 @@ double stddev(const std::vector<double> &v);
 
 /** Median (by copy-and-sort; 0 when empty). */
 double median(std::vector<double> v);
+
+/**
+ * Quantile of an already-sorted vector using the nearest-index rule
+ * `v[round(p * (n - 1))]` (0 when empty). This is the definition
+ * bench_serve has always reported; keep them in sync.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+// ---------------------------------------------------------------------------
+// Log-bucketed histogram math (the value side of obs/metrics.hpp's
+// atomic histograms; plain and copyable so it is unit-testable).
+// ---------------------------------------------------------------------------
+
+/** Bucket count: one bucket for 0, one per power of two up to 2^63. */
+constexpr int kLogHistogramBuckets = 65;
+
+/** Bucket index of a value: 0 holds exactly {0}; bucket b >= 1 holds
+ *  [2^(b-1), 2^b - 1]. */
+int logBucketIndex(uint64_t value);
+
+/** Smallest value bucket `b` can hold. */
+uint64_t logBucketLowerBound(int b);
+
+/** Largest value bucket `b` can hold. */
+uint64_t logBucketUpperBound(int b);
+
+/**
+ * Power-of-two-bucketed histogram of non-negative integer samples
+ * (latencies in us, batch sizes, queue depths). Percentiles resolve
+ * to the containing bucket, so they are exact to within one bucket
+ * width -- a factor-of-two bound at any scale.
+ */
+class LogHistogram
+{
+  public:
+    /** Add one sample. */
+    void record(uint64_t value);
+
+    /** Merge `n` pre-counted samples into bucket `b` (snapshotting
+     *  atomic histograms; see obs/metrics.hpp). */
+    void accumulateBucket(int b, uint64_t n);
+
+    /** Add to the running sample sum (paired with accumulateBucket). */
+    void accumulateSum(uint64_t s) { sum_ += s; }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+
+    /** Mean sample (0 when empty). */
+    double mean() const;
+
+    /** Samples recorded into bucket `b`. */
+    uint64_t bucketCount(int b) const;
+
+    /**
+     * Bucket holding the nearest-rank p-quantile (p in [0, 1]), or
+     * -1 when empty. The exact quantile lies in
+     * [logBucketLowerBound(b), logBucketUpperBound(b)].
+     */
+    int percentileBucket(double p) const;
+
+    /** Upper bound of percentileBucket(p) (0 when empty). */
+    uint64_t percentile(double p) const;
+
+  private:
+    std::array<uint64_t, kLogHistogramBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+};
 
 } // namespace qbasis
 

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <exception>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace qbasis {
@@ -34,8 +36,10 @@ ThreadPool::ThreadPool(int threads)
         workers_.push_back(std::make_unique<Worker>());
     threads_.reserve(static_cast<size_t>(threads));
     for (int i = 0; i < threads; ++i)
-        threads_.emplace_back(
-            [this, i] { workerLoop(static_cast<size_t>(i)); });
+        threads_.emplace_back([this, i] {
+            setTraceThreadName("pool-worker-" + std::to_string(i));
+            workerLoop(static_cast<size_t>(i));
+        });
 }
 
 ThreadPool::~ThreadPool()

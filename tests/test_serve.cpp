@@ -10,6 +10,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <future>
 #include <map>
 #include <thread>
@@ -284,6 +285,51 @@ TEST_F(ServeTest, SaturationRejectsWithStatusAndNeverHangs)
                                           qftCircuit(2)))
                                       .get();
     EXPECT_EQ(after.status, CompileStatus::Rejected);
+}
+
+// --- Snapshot coherence ---------------------------------------------
+
+TEST_F(ServeTest, SnapshotIsCoherentMidFlight)
+{
+    CompileServiceOptions opts = tinyServiceOptions();
+    opts.queue_capacity = 4; // force a mix of admits and rejects
+    CompileService service(opts);
+    service.start({quadSpec(11)});
+
+    // Hammer snapshot() from a reader thread while client threads
+    // submit a burst: every mid-flight view must satisfy the
+    // counter invariants (no torn submitted-vs-outcome reads).
+    std::atomic<bool> stop_reader{false};
+    std::thread reader([&] {
+        while (!stop_reader.load()) {
+            const CompileServiceStats s = service.snapshot();
+            EXPECT_GE(s.submitted, s.admitted + s.rejected);
+            EXPECT_GE(s.admitted, s.completed);
+            EXPECT_GE(s.completed, s.failed);
+        }
+    });
+    std::vector<CompileRequest> reqs;
+    for (uint64_t id = 1; id <= 32; ++id)
+        reqs.emplace_back(id, 0, "qft2", qftCircuit(2));
+    std::vector<size_t> order(reqs.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    const std::vector<CompileResponse> responses =
+        submitConcurrently(service, reqs, order, 4);
+    stop_reader.store(true);
+    reader.join();
+
+    // Quiescent view: fully consistent accounting.
+    for (const CompileResponse &resp : responses)
+        EXPECT_NE(resp.status, CompileStatus::Failed) << resp.error;
+    const CompileServiceStats s = service.snapshot();
+    EXPECT_EQ(s.submitted, reqs.size());
+    EXPECT_EQ(s.submitted, s.admitted + s.rejected);
+    EXPECT_EQ(s.completed, s.admitted);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_GE(s.max_queue_depth, 1u);
+    EXPECT_LE(s.max_queue_depth, opts.queue_capacity);
+    service.stop();
 }
 
 // --- serve.admit fault site -----------------------------------------
