@@ -20,7 +20,23 @@
  *    CompileStatus::Rejected responses -- every future resolves,
  *    nothing hangs (the CI ctest/step timeout is the backstop).
  *
+ *  - **Plan cache.** A Zipf-skewed shape stream (repeats dominate,
+ *    like production traffic) is served twice by identically-specced
+ *    services -- plan cache off, then on. Every per-request digest
+ *    must match bit-for-bit (plan-hit and plan-miss paths are
+ *    indistinguishable in the response), the memo and replay tiers
+ *    must both fire, and the plan-on p50 must beat the plan-off p50
+ *    by >= 10x (the committed floor lives in bench/baselines.json as
+ *    serve.min_zipf_p50_speedup).
+ *
  * Usage: bench_serve [--quick|--smoke] [--threads N] [--faults [seed]]
+ *                    [--plan-save PATH] [--plan-load PATH]
+ *
+ * --plan-save writes the plan-on service's cache snapshot (Weyl
+ * classes + transpile plans) after the Zipf phase; --plan-load
+ * warm-starts the plan-on service from such a snapshot before the
+ * phase, so CI can prove the plan tier round-trips across processes
+ * (zipf.plans_loaded and the zipf.stream_digest must reproduce).
  *
  * --faults arms the deterministic fault registry twice over the same
  * plan on the `serve.admit` site (keyed by request fingerprint, so
@@ -48,6 +64,12 @@
  *   "epoch_swap": { "old_epoch": int, "new_epoch": int,
  *                   "served_during_swap": bool,
  *                   "digest_changed": bool },
+ *   "zipf": { "requests": int, "shapes": int, "exponent": double,
+ *             "p50_off_ms": double, "p50_on_ms": double,
+ *             "zipf_p50_speedup": double, "digests_match": bool,
+ *             "memo_hits": int, "replay_hits": int,
+ *             "plan_misses": int, "plans_loaded": int,
+ *             "stream_digest": "decimal-u64" },
  *   "faults": { "seed": int, "probability": double,
  *               "admit_rejected": int, "replay_identical": bool,
  *               "quarantined_served_ok": bool }       // --faults only
@@ -72,6 +94,7 @@
 #include "obs/metrics.hpp"
 #include "serve/compile_service.hpp"
 #include "util/fault.hpp"
+#include "util/fnv.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -447,6 +470,182 @@ runEpochSwap(CompileService &service, const BenchConfig &cfg)
     return r;
 }
 
+// --- Zipf plan-cache phase ------------------------------------------
+
+struct ZipfResult
+{
+    int requests = 0;
+    int shapes = 0;
+    double exponent = 1.1;
+    double p50_off_ms = 0.0;
+    double p50_on_ms = 0.0;
+    double speedup = 0.0;
+    bool all_ok = false;
+    bool digests_match = false;
+    uint64_t memo_hits = 0;
+    uint64_t replay_hits = 0;
+    uint64_t plan_misses = 0;
+    uint64_t plans_loaded = 0;
+    uint64_t stream_digest = 0;
+    bool snapshot_saved = true; ///< false only if --plan-save failed.
+};
+
+/** Parametric ansatz shape: 1Q rotations vary per draw, the CX
+ *  entanglers never do -- so a repeat at a fresh angle replays the
+ *  stored plan against already-published Weyl classes. */
+Circuit
+zipfAnsatz(int n, double theta)
+{
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) {
+        c.h(q);
+        c.rz(q, theta + 0.1 * q);
+    }
+    for (int q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    for (int q = 0; q < n; ++q)
+        c.ry(q, 0.5 * theta - 0.2 * q);
+    return c;
+}
+
+constexpr size_t kZipfShapes = 8;
+
+Circuit
+zipfShapeCircuit(size_t shape, double theta)
+{
+    switch (shape) {
+    case 0: return qftCircuit(3);
+    case 1: return qftCircuit(2);
+    case 2: return bvAllOnesCircuit(3);
+    case 3: return zipfAnsatz(3, theta);
+    case 4: return qftCircuit(4);
+    case 5: {
+        QaoaParams qp;
+        qp.gamma = 0.4;
+        qp.beta = 0.25;
+        return qaoaErdosRenyiCircuit(4, 0.5, qp);
+    }
+    case 6: return zipfAnsatz(4, theta);
+    default: return bvAllOnesCircuit(4);
+    }
+}
+
+/**
+ * A Zipf(s)-distributed stream over kZipfShapes shapes. Rank order is
+ * popularity order: the head ranks are fixed circuits whose repeats
+ * are exact (memo-tier traffic); ranks 3 and 6 are parametric ansatz
+ * shapes drawn with a fresh angle every time (replay-tier traffic).
+ * Each shape is pinned to device (shape % devices), so its repeats
+ * always carry the same (device, epoch) plan key.
+ */
+std::vector<CompileRequest>
+zipfRequestMix(int devices, int count, double exponent, uint64_t seed)
+{
+    double weight[kZipfShapes];
+    double total = 0.0;
+    for (size_t r = 0; r < kZipfShapes; ++r) {
+        weight[r] = 1.0
+                    / std::pow(static_cast<double>(r + 1), exponent);
+        total += weight[r];
+    }
+    static const char *const names[kZipfShapes] = {
+        "qft3", "qft2", "bv3", "ansatz3",
+        "qft4", "qaoa4", "ansatz4", "bv4"};
+    Rng rng(seed);
+    std::vector<CompileRequest> reqs;
+    reqs.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        double u = rng.uniform() * total;
+        size_t shape = 0;
+        while (shape + 1 < kZipfShapes && u >= weight[shape]) {
+            u -= weight[shape];
+            ++shape;
+        }
+        const bool parametric = shape == 3 || shape == 6;
+        const double theta =
+            parametric ? 0.15 + 0.01 * static_cast<double>(i) : 0.0;
+        reqs.emplace_back(static_cast<uint64_t>(i + 1),
+                          static_cast<int>(shape) % devices,
+                          names[shape], zipfShapeCircuit(shape, theta));
+    }
+    return reqs;
+}
+
+/**
+ * Serve the same Zipf stream through two identically-specced services
+ * -- plan cache off, then on -- and compare per-request digests plus
+ * p50 latency. Sequential compileSync keeps the latency measurement
+ * free of queueing: the speedup is the plan tier's, not a batching
+ * artifact.
+ */
+ZipfResult
+runZipf(const BenchConfig &cfg, int zipf_requests,
+        const char *plan_load, const char *plan_save)
+{
+    ZipfResult z;
+    z.shapes = static_cast<int>(kZipfShapes);
+    z.requests = zipf_requests;
+    z.all_ok = true;
+    const std::vector<CompileRequest> reqs = zipfRequestMix(
+        cfg.devices, zipf_requests, z.exponent, 4242);
+
+    const auto serveAll = [&](CompileService &svc,
+                              std::vector<double> *lat,
+                              std::vector<uint64_t> *digests) {
+        for (const CompileRequest &req : reqs) {
+            const CompileResponse resp = svc.compileSync(req);
+            if (resp.status != CompileStatus::Ok)
+                z.all_ok = false;
+            lat->push_back(resp.queue_ms + resp.compile_ms);
+            digests->push_back(compileResponseDigest(resp));
+        }
+    };
+
+    std::vector<double> lat_off, lat_on;
+    std::vector<uint64_t> dig_off, dig_on;
+    {
+        CompileServiceOptions opts = benchServiceOptions(cfg);
+        opts.plan_cache = false;
+        CompileService svc(opts);
+        svc.start(benchFleet(cfg.devices));
+        serveAll(svc, &lat_off, &dig_off);
+        svc.stop();
+    }
+    {
+        CompileServiceOptions opts = benchServiceOptions(cfg);
+        opts.plan_cache = true;
+        CompileService svc(opts);
+        svc.start(benchFleet(cfg.devices));
+        if (plan_load != nullptr) {
+            // Warm start: classes and plans from a prior process.
+            // Deterministic calibration reproduces that process's
+            // epochs, so the persisted plan keys are live here.
+            svc.driver().loadCache(plan_load);
+            z.plans_loaded = svc.driver().planCache().stats().loaded;
+        }
+        serveAll(svc, &lat_on, &dig_on);
+        const PlanCacheStats ps = svc.driver().planCache().stats();
+        z.memo_hits = ps.memo_hits;
+        z.replay_hits = ps.replay_hits;
+        z.plan_misses = ps.misses;
+        if (plan_save != nullptr)
+            z.snapshot_saved = svc.driver().saveCache(plan_save).ok();
+        svc.stop();
+    }
+
+    z.digests_match = dig_off == dig_on;
+    Fnv64 fnv;
+    for (const uint64_t d : dig_on)
+        fnv.mix(d);
+    z.stream_digest = fnv.h;
+    std::sort(lat_off.begin(), lat_off.end());
+    std::sort(lat_on.begin(), lat_on.end());
+    z.p50_off_ms = percentileSorted(lat_off, 0.50);
+    z.p50_on_ms = percentileSorted(lat_on, 0.50);
+    z.speedup = z.p50_off_ms / std::max(z.p50_on_ms, 1e-6);
+    return z;
+}
+
 // --- Faulted phases (--faults) --------------------------------------
 
 struct FaultBench
@@ -554,7 +753,7 @@ writeJson(const char *path, bool quick, bool smoke,
           const BenchConfig &cfg, const CompileServiceOptions &sopts,
           const OpenLoopResult &open, const AdmissionResult &adm,
           const DeterminismResult &det, const EpochSwapResult &swap,
-          const FaultBench *faults)
+          const ZipfResult &zipf, const FaultBench *faults)
 {
     FILE *f = std::fopen(path, "w");
     if (f == nullptr) {
@@ -593,7 +792,20 @@ writeJson(const char *path, bool quick, bool smoke,
         "    \"old_epoch\": %llu,\n"
         "    \"new_epoch\": %llu,\n"
         "    \"served_during_swap\": %s,\n"
-        "    \"digest_changed\": %s\n  }",
+        "    \"digest_changed\": %s\n  },\n"
+        "  \"zipf\": {\n"
+        "    \"requests\": %d,\n"
+        "    \"shapes\": %d,\n"
+        "    \"exponent\": %.2f,\n"
+        "    \"p50_off_ms\": %.4f,\n"
+        "    \"p50_on_ms\": %.4f,\n"
+        "    \"zipf_p50_speedup\": %.2f,\n"
+        "    \"digests_match\": %s,\n"
+        "    \"memo_hits\": %llu,\n"
+        "    \"replay_hits\": %llu,\n"
+        "    \"plan_misses\": %llu,\n"
+        "    \"plans_loaded\": %llu,\n"
+        "    \"stream_digest\": \"%llu\"\n  }",
         quick ? "true" : "false", smoke ? "true" : "false",
         cfg.threads, cfg.devices, sopts.dispatchers, sopts.max_batch,
         sopts.queue_capacity, open.requests, open.offered_rps,
@@ -607,7 +819,14 @@ writeJson(const char *path, bool quick, bool smoke,
         static_cast<unsigned long long>(swap.old_epoch),
         static_cast<unsigned long long>(swap.new_epoch),
         swap.served_during_swap ? "true" : "false",
-        swap.digest_changed ? "true" : "false");
+        swap.digest_changed ? "true" : "false", zipf.requests,
+        zipf.shapes, zipf.exponent, zipf.p50_off_ms, zipf.p50_on_ms,
+        zipf.speedup, zipf.digests_match ? "true" : "false",
+        static_cast<unsigned long long>(zipf.memo_hits),
+        static_cast<unsigned long long>(zipf.replay_hits),
+        static_cast<unsigned long long>(zipf.plan_misses),
+        static_cast<unsigned long long>(zipf.plans_loaded),
+        static_cast<unsigned long long>(zipf.stream_digest));
     if (faults != nullptr) {
         std::fprintf(
             f,
@@ -636,6 +855,8 @@ main(int argc, char **argv)
     bool smoke = false;
     bool with_faults = false;
     uint64_t fault_seed = 2022;
+    const char *plan_save = nullptr;
+    const char *plan_load = nullptr;
     BenchConfig cfg;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
@@ -645,6 +866,12 @@ main(int argc, char **argv)
         else if (std::strcmp(argv[i], "--threads") == 0
                  && i + 1 < argc)
             cfg.threads = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--plan-save") == 0
+                 && i + 1 < argc)
+            plan_save = argv[++i];
+        else if (std::strcmp(argv[i], "--plan-load") == 0
+                 && i + 1 < argc)
+            plan_load = argv[++i];
         else if (std::strcmp(argv[i], "--faults") == 0) {
             with_faults = true;
             if (i + 1 < argc && argv[i + 1][0] != '-')
@@ -652,7 +879,8 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: bench_serve [--quick|--smoke] "
-                         "[--threads N] [--faults [seed]]\n");
+                         "[--threads N] [--faults [seed]] "
+                         "[--plan-save PATH] [--plan-load PATH]\n");
             return 2;
         }
     }
@@ -691,6 +919,13 @@ main(int argc, char **argv)
     std::printf("[epoch-swap] retune mid-stream, drain, replay...\n");
     const EpochSwapResult swap = runEpochSwap(service, cfg);
 
+    const int zipf_requests = smoke ? 60 : quick ? 150 : 400;
+    std::printf("[zipf] %d requests over %d shapes, plan cache off "
+                "vs on...\n",
+                zipf_requests, static_cast<int>(kZipfShapes));
+    const ZipfResult zipf =
+        runZipf(cfg, zipf_requests, plan_load, plan_save);
+
     FaultBench fault_bench;
     if (with_faults) {
         std::printf("[faults] serve.admit replay pair (seed %llu) + "
@@ -724,6 +959,14 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(swap.new_epoch),
                 swap.served_during_swap ? "yes" : "NO",
                 swap.digest_changed ? "yes" : "NO");
+    std::printf("zipf p50 off/on: %.3f / %.4f ms (%.0fx), digests: "
+                "%s, memo/replay/miss: %llu/%llu/%llu, loaded %llu\n",
+                zipf.p50_off_ms, zipf.p50_on_ms, zipf.speedup,
+                zipf.digests_match ? "bit-identical" : "MISMATCH",
+                static_cast<unsigned long long>(zipf.memo_hits),
+                static_cast<unsigned long long>(zipf.replay_hits),
+                static_cast<unsigned long long>(zipf.plan_misses),
+                static_cast<unsigned long long>(zipf.plans_loaded));
     if (with_faults) {
         std::printf("[faults] admit rejected %d/%d; replay: %s; "
                     "quarantined fleet served ok: %s\n",
@@ -737,12 +980,22 @@ main(int argc, char **argv)
                 metricsSnapshot().text().c_str());
 
     writeJson("BENCH_serve.json", quick, smoke, cfg, sopts, open, adm,
-              det, swap, with_faults ? &fault_bench : nullptr);
+              det, swap, zipf, with_faults ? &fault_bench : nullptr);
 
     bool ok = open.all_ok && det.bit_identical
               && swap.served_during_swap && swap.digest_changed
               && adm.all_resolved && adm.rejected >= 1
               && adm.served >= 1;
+    // The Zipf sub-suite gates through the exit code too: plan-hit
+    // and plan-miss responses bit-identical, both tiers exercised,
+    // and the p50 speedup at or above the committed 10x floor.
+    if (!(zipf.all_ok && zipf.digests_match && zipf.speedup >= 10.0
+          && zipf.memo_hits >= 1 && zipf.replay_hits >= 1
+          && zipf.snapshot_saved
+          && (plan_load == nullptr || zipf.plans_loaded >= 1))) {
+        std::printf("FAIL: plan-cache Zipf contract violated\n");
+        ok = false;
+    }
     if (with_faults
         && !(fault_bench.replay_identical
              && fault_bench.quarantined_served_ok)) {

@@ -21,6 +21,9 @@ and gates on the floors committed in bench/baselines.json:
   * serving: concurrent-vs-serial per-request bit-identity, the
     epoch-swap digest change, reject-with-status admission under
     saturation, and open-loop throughput/p99 sanity bounds,
+  * plan cache: the Zipf sub-suite's plan-on vs plan-off digest
+    bit-identity, the p50 speedup floor, and both tiers (memo and
+    replay) actually serving,
   * observability: a ceiling on the disabled-path span cost (the
     zero-perturbation budget: a few ns) and the enabled-path cost,
     a valid Chrome-trace export round trip, and byte-identical
@@ -32,8 +35,11 @@ and gates on the floors committed in bench/baselines.json:
     last-good basis, and the serve.admit shed pattern must replay
     identically.
 
-A missing or unparseable BENCH file is reported as a clear,
-path-bearing FAIL row -- never a traceback.
+A missing or unparseable BENCH file is reported as clear,
+path-bearing FAIL rows -- one summary row plus one row per floor key
+committed in its baselines section -- never a traceback or a silent
+pass. A baselines section with no consuming bench check at all (a
+renamed or dropped bench) also fails loudly.
 
 Every committed floor is evaluated and printed as one row of a diff
 table (key, observed, requirement, status), so a failing run shows
@@ -322,6 +328,34 @@ def check_serve(bench, base, gate):
             "rejected >= 1, all futures resolved",
             adm.get("rejected", 0) >= 1 and adm.get("all_resolved"),
         )
+    zipf = bench.get("zipf", {})
+    if floors.get("require_zipf_digests_match"):
+        gate.check(
+            "serve.zipf.digests_match",
+            bool(zipf.get("digests_match")),
+            f"{zipf.get('requests', 0)} responses bit-identical "
+            "plan-on vs plan-off",
+            zipf.get("digests_match"),
+        )
+    floor = floors.get("min_zipf_p50_speedup")
+    if floor is not None:
+        gate.floor(
+            "serve.zipf.p50_speedup",
+            zipf.get("zipf_p50_speedup", 0.0),
+            floor,
+        )
+    floor = floors.get("min_zipf_memo_hits")
+    if floor is not None:
+        gate.floor(
+            "serve.zipf.memo_hits", zipf.get("memo_hits", 0), floor
+        )
+    floor = floors.get("min_zipf_replay_hits")
+    if floor is not None:
+        gate.floor(
+            "serve.zipf.replay_hits",
+            zipf.get("replay_hits", 0),
+            floor,
+        )
     open_loop = bench.get("open_loop", {})
     floor = floors.get("min_requests")
     if floor is not None:
@@ -441,6 +475,27 @@ def check_obs(bench, base, gate):
         gate.require("obs.digests.fleet_match", dig.get("fleet_match"))
 
 
+def floor_keys(section):
+    """Flattened floor keys of one baselines section (nested dicts
+    like min_speedup.gate_sweep become dotted keys)."""
+    keys = []
+    for key, value in sorted(section.items()):
+        if isinstance(value, dict):
+            keys.extend(f"{key}.{sub}" for sub in sorted(value))
+        else:
+            keys.append(key)
+    return keys
+
+
+def report_missing(name, path, detail, base, gate):
+    """A BENCH file a baselines section references was never emitted:
+    one summary row plus one row per committed floor key, so the diff
+    table shows exactly which gates silently stopped binding."""
+    gate.missing(name, f"{path}: {detail}")
+    for key in floor_keys(base.get(name, {})):
+        gate.missing(f"{name}.{key}", "BENCH file absent")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--synth", default=REPO / "BENCH_synth.json")
@@ -469,7 +524,7 @@ def main():
         )
         return 1
     gate = Gate()
-    for name, path, check in (
+    consumers = (
         ("synth", args.synth, check_synth),
         ("fleet", args.fleet, check_fleet),
         ("recalib", args.recalib, check_recalib),
@@ -477,15 +532,32 @@ def main():
         ("serve", args.serve, check_serve),
         ("mat4", args.mat4, check_mat4),
         ("obs", args.obs, check_obs),
-    ):
+    )
+    # Every baselines section must have a consumer above: a section
+    # whose BENCH file is never emitted (renamed bench, dropped run)
+    # must fail loudly instead of reading as green forever.
+    known = {"_comment"} | {name for name, _, _ in consumers}
+    for section in sorted(set(base) - known):
+        gate.check(
+            f"baselines[{section}]",
+            "no BENCH consumer",
+            "section consumed by a bench check",
+            False,
+        )
+    for name, path, check in consumers:
         try:
             check(load(path), base, gate)
         except OSError as err:
-            # A clear, path-bearing row (the bench binary did not run
-            # or wrote elsewhere), not a traceback.
-            gate.missing(name, f"{path}: {err.strerror or err}")
+            # Clear, path-bearing rows (the bench binary did not run
+            # or wrote elsewhere), not a traceback -- one per floor
+            # key, so nothing silently stops binding.
+            report_missing(
+                name, path, err.strerror or err, base, gate
+            )
         except json.JSONDecodeError as err:
-            gate.missing(name, f"{path}: invalid JSON ({err})")
+            report_missing(
+                name, path, f"invalid JSON ({err})", base, gate
+            )
 
     gate.print_table()
     failures = gate.failures

@@ -620,7 +620,7 @@ FleetDriver::engineStats() const
 CacheIoResult
 FleetDriver::saveCache(const std::string &path)
 {
-    return saveCacheSnapshot(cache_, path);
+    return saveCacheSnapshot(cache_, plan_cache_, path);
 }
 
 CacheIoResult
@@ -631,7 +631,7 @@ FleetDriver::loadCache(const std::string &path)
         Fnv64 path_hash;
         path_hash.mixString(path);
         faultPoint(kFaultFleetLoadCache, path_hash.h);
-        r = loadCacheSnapshot(path, cache_);
+        r = loadCacheSnapshot(path, cache_, &plan_cache_);
     } catch (const FaultInjected &e) {
         r.status = CacheIoStatus::Malformed;
         r.message = e.what();
@@ -683,11 +683,29 @@ FleetDriver::liveContexts() const
     return contexts;
 }
 
+std::vector<DeviceEpoch>
+FleetDriver::liveDeviceEpochs() const
+{
+    std::vector<DeviceEpoch> epochs;
+    epochs.reserve(devices_.size());
+    for (const auto &state : devices_) {
+        DeviceEpoch de;
+        de.device_id = state->device_id;
+        de.epoch = state->calibration.version();
+        epochs.push_back(de);
+    }
+    std::sort(epochs.begin(), epochs.end());
+    return epochs;
+}
+
 size_t
 FleetDriver::retireCache()
 {
     if (devices_.empty())
         return 0;
+    // Sweep the plan tier first: a plan whose epoch vector died may
+    // reference classes the context sweep below is about to drop.
+    plan_cache_.retire(liveDeviceEpochs());
     return cache_.retireExcept(liveContexts());
 }
 

@@ -37,6 +37,7 @@
 #include "core/experiment.hpp"
 #include "core/recalib.hpp"
 #include "synth/cache_io.hpp"
+#include "synth/plan_cache.hpp"
 #include "synth/shared_cache.hpp"
 
 namespace qbasis {
@@ -454,12 +455,16 @@ class FleetDriver
     /**
      * Epoch-sweep retirement: drop every cached class whose basis
      * context no longer appears in any live device's VersionedBasisSet
-     * snapshot. Run between drift cycles, after drainRecalibration()
-     * and before saveCache() (a sweep during an in-flight
-     * recalibration could drop classes presynthesized for a not yet
-     * published basis). A no-op (returns 0) when no devices are live:
-     * run()-style fleets have no versioned calibrations to refcount
-     * against. Returns the number of classes retired.
+     * snapshot, and every transpile plan whose basis-epoch vector
+     * died (some device it references was recalibrated past the
+     * epoch the plan was captured at, or no longer exists). Run
+     * between drift cycles, after drainRecalibration() and before
+     * saveCache() (a sweep during an in-flight recalibration could
+     * drop classes presynthesized for a not yet published basis). A
+     * no-op (returns 0) when no devices are live: run()-style fleets
+     * have no versioned calibrations to refcount against. Returns the
+     * number of *classes* retired; plan sweeps are reported through
+     * planCache().stats().retired.
      */
     size_t retireCache();
 
@@ -467,11 +472,20 @@ class FleetDriver
      *  the refcount roots retireCache() sweeps against. */
     std::vector<uint64_t> liveContexts() const;
 
+    /** Current (device id, basis epoch) of every live device, sorted
+     *  by device id -- the liveness roots the plan sweep checks
+     *  epoch vectors against. */
+    std::vector<DeviceEpoch> liveDeviceEpochs() const;
+
     /** Cache accounting against the live calibrations (entry/byte
      *  counts, live/dead split, warm hit rate). */
     CacheManifest cacheManifest() const;
 
     SharedDecompositionCache &cache() { return cache_; }
+    /** Fleet-wide transpile-plan cache (tier above the Weyl-class
+     *  cache; see synth/plan_cache.hpp). The serving layer consults
+     *  it through runCompile's PlanCache overload. */
+    PlanCache &planCache() { return plan_cache_; }
     ThreadPool &pool() { return pool_; }
     const FleetOptions &options() const { return opts_; }
 
@@ -503,6 +517,7 @@ class FleetDriver
     FleetOptions opts_;
     ThreadPool pool_;
     SharedDecompositionCache cache_;
+    PlanCache plan_cache_;
     std::vector<std::unique_ptr<FleetDeviceState>> devices_;
     std::unique_ptr<RecalibScheduler> recalib_;
     std::atomic<uint64_t> restarts_run_{0};

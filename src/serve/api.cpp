@@ -78,9 +78,39 @@ compileRequestFingerprint(const CompileRequest &req)
     return fnv.h;
 }
 
+namespace {
+
+/** Schedule + score one transpiled circuit into `resp.result`. Both
+ *  the full pipeline and the plan-replay path fund the response
+ *  through this single definition, so a replayed (bit-identical)
+ *  physical circuit scores bit-identically. */
+void
+scoreCompiled(CompileResponse &resp, const GridDevice &device,
+              const CalibratedBasisSet &set, const CompileRequest &req,
+              const TranspileResult &compiled)
+{
+    QBASIS_TRACE_SCOPE("compile.schedule");
+    const CouplingMap &cm = device.coupling();
+    const Schedule sched = scheduleAsap(
+        compiled.physical,
+        edgeDurationModel(cm, set.bases, req.options.t_1q_ns));
+
+    resp.result.fidelity =
+        circuitCoherenceFidelity(sched, req.options.t_coherence_ns);
+    resp.result.makespan_ns = sched.makespan;
+    resp.result.swaps_inserted = compiled.swaps_inserted;
+    resp.result.two_qubit_gates = compiled.physical.countTwoQubit();
+    resp.result.depth = compiled.physical.depth();
+    resp.status = CompileStatus::Ok;
+}
+
+/** Full-pipeline compile, optionally capturing the routed circuit so
+ *  the caller can store a transpile plan. */
 CompileResponse
-runCompile(const GridDevice &device, const CalibratedBasisSet &set,
-           const SynthRoute &route, const CompileRequest &req)
+runCompileCaptured(const GridDevice &device,
+                   const CalibratedBasisSet &set,
+                   const SynthRoute &route, const CompileRequest &req,
+                   RoutedCircuit *captured_routing)
 {
     // Root correlation for direct callers (the service's serveOne
     // sets the same id one frame up; re-setting is idempotent).
@@ -92,22 +122,10 @@ runCompile(const GridDevice &device, const CalibratedBasisSet &set,
     const auto t0 = std::chrono::steady_clock::now();
     try {
         const CouplingMap &cm = device.coupling();
-        const TranspileResult compiled =
-            transpileCircuit(req.circuit, cm, set.bases, route,
-                             req.options.transpile);
-        QBASIS_TRACE_SCOPE("compile.schedule");
-        const Schedule sched = scheduleAsap(
-            compiled.physical,
-            edgeDurationModel(cm, set.bases, req.options.t_1q_ns));
-
-        resp.result.fidelity = circuitCoherenceFidelity(
-            sched, req.options.t_coherence_ns);
-        resp.result.makespan_ns = sched.makespan;
-        resp.result.swaps_inserted = compiled.swaps_inserted;
-        resp.result.two_qubit_gates =
-            compiled.physical.countTwoQubit();
-        resp.result.depth = compiled.physical.depth();
-        resp.status = CompileStatus::Ok;
+        const TranspileResult compiled = transpileCircuit(
+            req.circuit, cm, set.bases, route, req.options.transpile,
+            captured_routing);
+        scoreCompiled(resp, device, set, req, compiled);
     } catch (const std::exception &e) {
         // One bad request must not take a serving daemon down with
         // it: contain the pipeline error into the response.
@@ -119,6 +137,15 @@ runCompile(const GridDevice &device, const CalibratedBasisSet &set,
                           std::chrono::steady_clock::now() - t0)
                           .count();
     return resp;
+}
+
+} // namespace
+
+CompileResponse
+runCompile(const GridDevice &device, const CalibratedBasisSet &set,
+           const SynthRoute &route, const CompileRequest &req)
+{
+    return runCompileCaptured(device, set, route, req, nullptr);
 }
 
 CompileResponse
@@ -139,6 +166,168 @@ runCompile(const GridDevice &device,
     CompileResponse resp = runCompile(device, *snap.set, route, req);
     resp.basis_epoch = snap.version;
     resp.snapshot_wait_ms = wait_ms;
+    return resp;
+}
+
+namespace {
+
+/** Parameter fingerprint of the memo tier: everything the plan key's
+ *  structural hash ignores but the result depends on. */
+uint64_t
+planMemoFingerprint(const CompileRequest &req)
+{
+    Fnv64 fnv;
+    fnv.mix(circuitParamFingerprint(req.circuit));
+    fnv.mixDouble(req.options.t_1q_ns);
+    fnv.mixDouble(req.options.t_coherence_ns);
+    return fnv.h;
+}
+
+PlanMemoResult
+toPlanMemo(const CompiledCircuitResult &r)
+{
+    PlanMemoResult m;
+    m.fidelity = r.fidelity;
+    m.makespan_ns = r.makespan_ns;
+    m.swaps_inserted = r.swaps_inserted;
+    m.two_qubit_gates = r.two_qubit_gates;
+    m.depth = r.depth;
+    return m;
+}
+
+/** Published-class peek of the route's cache, or an empty callback
+ *  when the route has no persistent cache to replay against. */
+PlanClassLookup
+planPeekOf(const SynthRoute &route)
+{
+    if (route.isFleet()) {
+        SharedDecompositionCache &shared = route.client().cache;
+        return [&shared](const DecompositionCache::ClassKey &key) {
+            return shared.peekPublished(key);
+        };
+    }
+    if (DecompositionCache *local = route.localCache()) {
+        return [local](const DecompositionCache::ClassKey &key) {
+            return local->peekClass(key);
+        };
+    }
+    return {};
+}
+
+} // namespace
+
+CompileResponse
+runCompile(const GridDevice &device,
+           const VersionedBasisSet &calibration, const SynthRoute &route,
+           const CompileRequest &req, PlanCache *plans)
+{
+    if (plans == nullptr)
+        return runCompile(device, calibration, route, req);
+
+    TraceCorrelation correlation(req.request_id);
+    const auto t0 = std::chrono::steady_clock::now();
+    const CalibrationSnapshot snap = [&] {
+        QBASIS_TRACE_SCOPE("compile.snapshot", "request_id",
+                           req.request_id);
+        return calibration.snapshot();
+    }();
+    const double wait_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    PlanKey key;
+    key.structural_hash = structuralCircuitHash(req.circuit);
+    key.options_hash = transpilePlanOptionsHash(req.options.transpile);
+    key.epochs = {{req.device_id, snap.version}};
+    const uint64_t fingerprint = planMemoFingerprint(req);
+
+    // Tier 1: exact repeat. Skips transpile, schedule, and score;
+    // the stored result was produced by the full pipeline at this
+    // same epoch, so returning it is trivially bit-identical.
+    PlanMemoResult memo;
+    if (plans->lookupMemo(key, fingerprint, &memo)) {
+        QBASIS_TRACE_SCOPE("compile.plan_memo", "request_id",
+                           req.request_id);
+        CompileResponse resp;
+        resp.request_id = req.request_id;
+        resp.basis_epoch = snap.version;
+        resp.snapshot_wait_ms = wait_ms;
+        resp.status = CompileStatus::Ok;
+        resp.plan_path = PlanServePath::Memo;
+        resp.result.fidelity = memo.fidelity;
+        resp.result.makespan_ns = memo.makespan_ns;
+        resp.result.swaps_inserted =
+            static_cast<size_t>(memo.swaps_inserted);
+        resp.result.two_qubit_gates =
+            static_cast<size_t>(memo.two_qubit_gates);
+        resp.result.depth = memo.depth;
+        resp.compile_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        return resp;
+    }
+
+    // Tier 2: replay the routing program with this request's
+    // parameters against published Weyl classes only. Any
+    // irregularity -- unpublished class, plan that does not fit
+    // (hash collision), exception -- falls through to the full
+    // pipeline so failure behavior matches the plan-off path exactly.
+    if (const std::shared_ptr<const TranspilePlan> plan =
+            plans->lookup(key)) {
+        if (const PlanClassLookup peek = planPeekOf(route)) {
+            const auto tr0 = std::chrono::steady_clock::now();
+            try {
+                QBASIS_TRACE_SCOPE("compile.plan_replay",
+                                   "request_id", req.request_id);
+                TranspileResult compiled;
+                if (replayTranspilePlan(
+                        *plan, req.circuit, device.coupling(),
+                        snap.set->bases,
+                        req.options.transpile.synth, peek,
+                        &compiled)) {
+                    CompileResponse resp;
+                    resp.request_id = req.request_id;
+                    resp.basis_epoch = snap.version;
+                    resp.snapshot_wait_ms = wait_ms;
+                    resp.plan_path = PlanServePath::Replay;
+                    scoreCompiled(resp, device, *snap.set, req,
+                                  compiled);
+                    plans->noteReplayHit();
+                    plans->memoize(key, fingerprint,
+                                   toPlanMemo(resp.result));
+                    resp.compile_ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - tr0)
+                            .count();
+                    return resp;
+                }
+            } catch (const std::exception &) {
+                // Fall through to the full pipeline, which contains
+                // (or reproduces) the failure identically to a
+                // plan-off compile.
+            }
+        }
+    }
+
+    // Tier 3: full pipeline, then capture the plan for the next
+    // repeat of this shape.
+    plans->noteMiss();
+    RoutedCircuit routed;
+    CompileResponse resp =
+        runCompileCaptured(device, *snap.set, route, req, &routed);
+    resp.basis_epoch = snap.version;
+    resp.snapshot_wait_ms = wait_ms;
+    if (resp.status == CompileStatus::Ok) {
+        try {
+            plans->store(captureTranspilePlan(
+                key, routed, device.coupling(), snap.set->bases,
+                req.options.transpile.synth));
+            plans->memoize(key, fingerprint, toPlanMemo(resp.result));
+        } catch (const std::exception &) {
+            // A capture failure must never fail a served request.
+        }
+    }
     return resp;
 }
 

@@ -26,8 +26,20 @@
 #include <string>
 
 #include "core/recalib.hpp"
+#include "synth/plan_cache.hpp"
 
 namespace qbasis {
+
+/** Which plan-cache tier served a request. Diagnostic only:
+ *  deliberately excluded from compileResponseDigest, because the
+ *  determinism contract requires plan-hit and plan-miss responses to
+ *  stay bit-identical. */
+enum class PlanServePath : int
+{
+    None = 0,   ///< Full pipeline (miss, or plan cache off).
+    Replay = 1, ///< Plan replayed with this request's parameters.
+    Memo = 2,   ///< Exact repeat served from the memo tier.
+};
 
 /** Everything tunable about one compile, in one place. */
 struct CompileOptions
@@ -84,6 +96,8 @@ struct CompileResponse
     double snapshot_wait_ms = 0.0; ///< Snapshot acquisition wall time.
     double queue_ms = 0.0;   ///< Admission-to-dispatch wall time.
     double compile_ms = 0.0; ///< Pipeline wall time.
+    /** Plan-cache disposition (diagnostic; not in the digest). */
+    PlanServePath plan_path = PlanServePath::None;
     CompiledCircuitResult result; ///< Valid only when status == Ok.
 };
 
@@ -142,6 +156,31 @@ CompileResponse runCompile(const GridDevice &device,
                            const VersionedBasisSet &calibration,
                            const SynthRoute &route,
                            const CompileRequest &req);
+
+/**
+ * Plan-cached variant: consult `plans` before the pipeline and feed
+ * it afterwards. Tier order per request:
+ *
+ *  1. memo — exact repeat (same shape, parameter fingerprint, and
+ *     timing model at the same basis epoch): the stored result is
+ *     returned without transpiling, scheduling, or scoring;
+ *  2. replay — same shape at the same epoch with new parameters: the
+ *     stored routing program is replayed and translated against
+ *     published Weyl classes only (bypassing the SynthEngine batch),
+ *     then scheduled and scored normally;
+ *  3. miss — full pipeline; on success the plan is captured and the
+ *     result memoized.
+ *
+ * Any replay irregularity (unpublished class, structural-hash
+ * collision, exception) falls back to the full pipeline, so the
+ * response — including a Failed response's error text — is always
+ * bit-identical to what the plan-off path produces at the same
+ * epoch. `plans == nullptr` degrades to the overload above.
+ */
+CompileResponse runCompile(const GridDevice &device,
+                           const VersionedBasisSet &calibration,
+                           const SynthRoute &route,
+                           const CompileRequest &req, PlanCache *plans);
 
 } // namespace qbasis
 

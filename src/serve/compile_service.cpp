@@ -28,6 +28,7 @@ struct ServeMetrics
     Counter &completed;
     Counter &failed;
     Counter &batches;
+    Counter &plan_hits;
     Histogram &queue_us;
     Histogram &compile_us;
     Histogram &batch_size;
@@ -42,6 +43,7 @@ struct ServeMetrics
                               reg.counter("serve.completed"),
                               reg.counter("serve.failed"),
                               reg.counter("serve.batches"),
+                              reg.counter("serve.plan_hits"),
                               reg.histogram("serve.queue_us"),
                               reg.histogram("serve.compile_us"),
                               reg.histogram("serve.batch_size")};
@@ -213,7 +215,9 @@ CompileService::serveOne(PendingRequest &pending,
         // runCompile contains pipeline errors into status == Failed;
         // this try only guards pre-pipeline faults (unknown device).
         resp = runCompile(state.device, state.calibration,
-                          SynthRoute(client), pending.req);
+                          SynthRoute(client), pending.req,
+                          opts_.plan_cache ? &driver_.planCache()
+                                           : nullptr);
     } catch (const std::exception &e) {
         resp = CompileResponse{};
         resp.request_id = pending.req.request_id;
@@ -233,6 +237,12 @@ CompileService::serveOne(PendingRequest &pending,
     if (resp.status == CompileStatus::Failed) {
         counters_.failed.fetch_add(1);
         metrics.failed.add();
+    }
+    // Same ordering argument: plan_hits before completed, so
+    // plan_hits <= completed in any mid-flight view.
+    if (resp.plan_path != PlanServePath::None) {
+        counters_.plan_hits.fetch_add(1);
+        metrics.plan_hits.add();
     }
     counters_.completed.fetch_add(1);
     metrics.completed.add();
@@ -315,6 +325,7 @@ CompileService::snapshot() const
     // invariants: submitted >= admitted + rejected and
     // admitted >= completed >= failed hold in any mid-flight view.
     CompileServiceStats s;
+    s.plan_hits = counters_.plan_hits.load();
     s.failed = counters_.failed.load();
     s.completed = counters_.completed.load();
     s.batches = counters_.batches.load();

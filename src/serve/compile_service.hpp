@@ -70,6 +70,11 @@ struct CompileServiceOptions
     /** Max requests one dispatcher coalesces per round (they share
      *  one SynthEngine and, through it, the shared class cache). */
     size_t max_batch = 8;
+    /** Serve repeat requests from the fleet's transpile-plan cache
+     *  (synth/plan_cache.hpp). Off = every request runs the full
+     *  pipeline; responses are bit-identical either way at a fixed
+     *  basis epoch (gated by bench_serve's Zipf sub-suite). */
+    bool plan_cache = true;
 };
 
 /**
@@ -89,6 +94,8 @@ struct CompileServiceStats
     uint64_t failed = 0;    ///< Responses with status == Failed.
     uint64_t batches = 0;   ///< Dispatch rounds that compiled >= 1.
     uint64_t max_queue_depth = 0; ///< High-water mark.
+    /** Responses served from the plan tier (memo or replay). */
+    uint64_t plan_hits = 0;
 };
 
 /** Long-lived compile serving daemon over an owned FleetDriver. */
@@ -199,6 +206,7 @@ class CompileService
         std::atomic<uint64_t> failed{0};
         std::atomic<uint64_t> batches{0};
         std::atomic<uint64_t> max_queue_depth{0};
+        std::atomic<uint64_t> plan_hits{0};
     } counters_;
 
     std::vector<std::thread> dispatchers_;

@@ -10,9 +10,13 @@ namespace qbasis {
 namespace {
 
 constexpr char kMagic[8] = {'Q', 'B', 'W', 'C', 'A', 'C', 'H', 'E'};
-constexpr size_t kHeaderBytes = 92;
+constexpr size_t kHeaderBytes = 124;
 constexpr size_t kIndexEntryBytes = 48;
-constexpr size_t kSectionCount = 2; // index, payload
+constexpr size_t kSectionCount = 3; // index, payload, plans
+/** Sanity cap on a decoded plan's device size: far above any real
+ *  device, low enough that a crafted record cannot make the replay
+ *  validator allocate absurd scratch. */
+constexpr uint64_t kMaxPlanQubits = 1u << 20;
 
 // -- Little-endian primitives ------------------------------------------------
 
@@ -226,14 +230,35 @@ cacheCrc32(const uint8_t *data, size_t size)
     return crc ^ 0xFFFFFFFFu;
 }
 
+size_t
+planEncodedBytes(const TranspilePlan &plan)
+{
+    // hashes (2 u64) + six u32 counts + swaps u64, then the
+    // variable-length vectors.
+    return 16 + 24 + 8 + plan.key.epochs.size() * 16
+           + (plan.initial_layout.size() + plan.final_layout.size()) * 8
+           + plan.ops.size() * 24 + plan.class_keys.size() * 32;
+}
+
 std::vector<uint8_t>
 encodeCacheSnapshot(std::vector<CacheSnapshotEntry> entries)
+{
+    return encodeCacheSnapshot(std::move(entries), {});
+}
+
+std::vector<uint8_t>
+encodeCacheSnapshot(std::vector<CacheSnapshotEntry> entries,
+                    std::vector<TranspilePlan> plans)
 {
     // Unique byte encoding per entry set: sort by key so snapshot ->
     // restore -> snapshot is the identity on bytes.
     std::sort(entries.begin(), entries.end(),
               [](const CacheSnapshotEntry &a, const CacheSnapshotEntry &b) {
                   return a.first < b.first;
+              });
+    std::sort(plans.begin(), plans.end(),
+              [](const TranspilePlan &a, const TranspilePlan &b) {
+                  return a.key < b.key;
               });
 
     std::vector<uint8_t> index;
@@ -263,18 +288,57 @@ encodeCacheSnapshot(std::vector<CacheSnapshotEntry> entries)
             putMat4(payload, b);
     }
 
+    std::vector<uint8_t> plan_bytes;
+    for (const TranspilePlan &plan : plans) {
+        putU64(plan_bytes, plan.key.structural_hash);
+        putU64(plan_bytes, plan.key.options_hash);
+        putU32(plan_bytes,
+               static_cast<uint32_t>(plan.key.epochs.size()));
+        putU32(plan_bytes, static_cast<uint32_t>(plan.ops.size()));
+        putU32(plan_bytes,
+               static_cast<uint32_t>(plan.class_keys.size()));
+        putU32(plan_bytes, static_cast<uint32_t>(plan.num_physical));
+        putU32(plan_bytes,
+               static_cast<uint32_t>(plan.initial_layout.size()));
+        putU32(plan_bytes,
+               static_cast<uint32_t>(plan.final_layout.size()));
+        putU64(plan_bytes, plan.swaps_inserted);
+        for (const DeviceEpoch &de : plan.key.epochs) {
+            putI64(plan_bytes, de.device_id);
+            putU64(plan_bytes, de.epoch);
+        }
+        for (const int p : plan.initial_layout)
+            putI64(plan_bytes, p);
+        for (const int p : plan.final_layout)
+            putI64(plan_bytes, p);
+        for (const PlanOp &op : plan.ops) {
+            putI64(plan_bytes, op.source);
+            putI64(plan_bytes, op.q0);
+            putI64(plan_bytes, op.q1);
+        }
+        for (const DecompositionCache::ClassKey &key : plan.class_keys) {
+            putU64(plan_bytes, key.context);
+            putI64(plan_bytes, key.qx);
+            putI64(plan_bytes, key.qy);
+            putI64(plan_bytes, key.qz);
+        }
+    }
+
     std::vector<uint8_t> buf;
-    buf.reserve(kHeaderBytes + index.size() + payload.size());
+    buf.reserve(kHeaderBytes + index.size() + payload.size()
+                + plan_bytes.size());
     buf.insert(buf.end(), kMagic, kMagic + 8);
     putU32(buf, kCacheFormatVersion);
     putU32(buf, static_cast<uint32_t>(kHeaderBytes));
     putF64(buf, DecompositionCache::kCoordQuantum);
     putF64(buf, DecompositionCache::kGateHashQuantum);
     putU64(buf, static_cast<uint64_t>(entries.size()));
-    // Section table: index then payload, back to back after the
+    putU64(buf, static_cast<uint64_t>(plans.size()));
+    // Section table: index, payload, plans -- back to back after the
     // header, each with its own CRC.
     const uint64_t index_off = kHeaderBytes;
     const uint64_t payload_off = index_off + index.size();
+    const uint64_t plans_off = payload_off + payload.size();
     putU64(buf, index_off);
     putU64(buf, static_cast<uint64_t>(index.size()));
     putU32(buf, cacheCrc32(index.data(), index.size()));
@@ -283,16 +347,29 @@ encodeCacheSnapshot(std::vector<CacheSnapshotEntry> entries)
     putU64(buf, static_cast<uint64_t>(payload.size()));
     putU32(buf, cacheCrc32(payload.data(), payload.size()));
     putU32(buf, 0); // pad
+    putU64(buf, plans_off);
+    putU64(buf, static_cast<uint64_t>(plan_bytes.size()));
+    putU32(buf, cacheCrc32(plan_bytes.data(), plan_bytes.size()));
+    putU32(buf, 0); // pad
     putU32(buf, cacheCrc32(buf.data(), buf.size()));
 
     buf.insert(buf.end(), index.begin(), index.end());
     buf.insert(buf.end(), payload.begin(), payload.end());
+    buf.insert(buf.end(), plan_bytes.begin(), plan_bytes.end());
     return buf;
 }
 
 CacheIoResult
 decodeCacheSnapshot(const uint8_t *data, size_t size,
                     std::vector<CacheSnapshotEntry> *out)
+{
+    return decodeCacheSnapshot(data, size, out, nullptr);
+}
+
+CacheIoResult
+decodeCacheSnapshot(const uint8_t *data, size_t size,
+                    std::vector<CacheSnapshotEntry> *out,
+                    std::vector<TranspilePlan> *plans_out)
 {
     if (data == nullptr || size < kHeaderBytes)
         return fail(CacheIoStatus::Truncated,
@@ -332,6 +409,7 @@ decodeCacheSnapshot(const uint8_t *data, size_t size,
                     "snapshot quantization parameters differ from "
                     "this build");
     const uint64_t entry_count = cur.u64();
+    const uint64_t plan_count = cur.u64();
     const uint64_t index_off = cur.u64();
     const uint64_t index_size = cur.u64();
     const uint32_t index_crc = cur.u32();
@@ -339,6 +417,10 @@ decodeCacheSnapshot(const uint8_t *data, size_t size,
     const uint64_t payload_off = cur.u64();
     const uint64_t payload_size = cur.u64();
     const uint32_t payload_crc = cur.u32();
+    cur.u32(); // pad
+    const uint64_t plans_off = cur.u64();
+    const uint64_t plans_size = cur.u64();
+    const uint32_t plans_crc = cur.u32();
 
     // Overflow-safe section-table validation: every arithmetic term
     // below is bounded *before* it is formed, so a crafted header
@@ -348,10 +430,12 @@ decodeCacheSnapshot(const uint8_t *data, size_t size,
         || entry_count > (UINT64_MAX - kHeaderBytes) / kIndexEntryBytes
         || index_size != entry_count * kIndexEntryBytes
         || payload_off != kHeaderBytes + index_size
-        || payload_size > UINT64_MAX - payload_off)
+        || payload_size > UINT64_MAX - payload_off
+        || plans_off != payload_off + payload_size
+        || plans_size > UINT64_MAX - plans_off)
         return fail(CacheIoStatus::Malformed,
                     "inconsistent section table");
-    const uint64_t expected_size = payload_off + payload_size;
+    const uint64_t expected_size = plans_off + plans_size;
     if (size < expected_size)
         return fail(CacheIoStatus::Truncated,
                     "snapshot truncated: "
@@ -359,13 +443,16 @@ decodeCacheSnapshot(const uint8_t *data, size_t size,
                         + std::to_string(expected_size) + " bytes");
     if (size > expected_size)
         return fail(CacheIoStatus::Malformed,
-                    "trailing bytes after the payload section");
+                    "trailing bytes after the plans section");
     if (cacheCrc32(data + index_off, index_size) != index_crc)
         return fail(CacheIoStatus::ChecksumMismatch,
                     "index section checksum mismatch");
     if (cacheCrc32(data + payload_off, payload_size) != payload_crc)
         return fail(CacheIoStatus::ChecksumMismatch,
                     "payload section checksum mismatch");
+    if (cacheCrc32(data + plans_off, plans_size) != plans_crc)
+        return fail(CacheIoStatus::ChecksumMismatch,
+                    "plans section checksum mismatch");
 
     std::vector<CacheSnapshotEntry> entries;
     entries.reserve(static_cast<size_t>(entry_count));
@@ -416,6 +503,82 @@ decodeCacheSnapshot(const uint8_t *data, size_t size,
         entries.emplace_back(key, std::move(dec));
     }
 
+    std::vector<TranspilePlan> plans;
+    plans.reserve(static_cast<size_t>(plan_count));
+    Cursor pcur{data + plans_off, static_cast<size_t>(plans_size), 0,
+                true};
+    for (uint64_t i = 0; i < plan_count; ++i) {
+        TranspilePlan plan;
+        plan.key.structural_hash = pcur.u64();
+        plan.key.options_hash = pcur.u64();
+        const uint32_t n_epochs = pcur.u32();
+        const uint32_t n_ops = pcur.u32();
+        const uint32_t n_classes = pcur.u32();
+        const uint32_t num_physical = pcur.u32();
+        const uint32_t n_init = pcur.u32();
+        const uint32_t n_final = pcur.u32();
+        plan.swaps_inserted = pcur.u64();
+        if (!pcur.ok || num_physical == 0
+            || num_physical > kMaxPlanQubits
+            || n_classes > n_ops)
+            return fail(CacheIoStatus::Malformed,
+                        "plan " + std::to_string(i)
+                            + ": inconsistent counts");
+        plan.num_physical = static_cast<int>(num_physical);
+        // Vector lengths are bounded by the (already CRC-validated)
+        // section size through the cursor's ok flag: a short section
+        // flips it before any oversized reserve can happen.
+        const uint64_t body_bytes =
+            static_cast<uint64_t>(n_epochs) * 16
+            + (static_cast<uint64_t>(n_init)
+               + static_cast<uint64_t>(n_final)) * 8
+            + static_cast<uint64_t>(n_ops) * 24
+            + static_cast<uint64_t>(n_classes) * 32;
+        if (body_bytes > plans_size - pcur.off)
+            return fail(CacheIoStatus::Malformed,
+                        "plan " + std::to_string(i)
+                            + ": record out of bounds");
+        plan.key.epochs.reserve(n_epochs);
+        for (uint32_t e = 0; e < n_epochs; ++e) {
+            DeviceEpoch de;
+            de.device_id = static_cast<int>(pcur.i64());
+            de.epoch = pcur.u64();
+            plan.key.epochs.push_back(de);
+        }
+        plan.initial_layout.reserve(n_init);
+        for (uint32_t l = 0; l < n_init; ++l)
+            plan.initial_layout.push_back(
+                static_cast<int>(pcur.i64()));
+        plan.final_layout.reserve(n_final);
+        for (uint32_t l = 0; l < n_final; ++l)
+            plan.final_layout.push_back(static_cast<int>(pcur.i64()));
+        plan.ops.reserve(n_ops);
+        for (uint32_t o = 0; o < n_ops; ++o) {
+            PlanOp op;
+            op.source = static_cast<int>(pcur.i64());
+            op.q0 = static_cast<int>(pcur.i64());
+            op.q1 = static_cast<int>(pcur.i64());
+            plan.ops.push_back(op);
+        }
+        plan.class_keys.reserve(n_classes);
+        for (uint32_t c = 0; c < n_classes; ++c) {
+            DecompositionCache::ClassKey key;
+            key.context = pcur.u64();
+            key.qx = pcur.i64();
+            key.qy = pcur.i64();
+            key.qz = pcur.i64();
+            plan.class_keys.push_back(key);
+        }
+        if (!pcur.ok)
+            return fail(CacheIoStatus::Malformed,
+                        "plan " + std::to_string(i)
+                            + ": record truncated");
+        plans.push_back(std::move(plan));
+    }
+    if (pcur.off != plans_size)
+        return fail(CacheIoStatus::Malformed,
+                    "plans section size mismatch");
+
     CacheIoResult r;
     r.entries = entries.size();
     r.bytes = size;
@@ -423,6 +586,10 @@ decodeCacheSnapshot(const uint8_t *data, size_t size,
         out->insert(out->end(),
                     std::make_move_iterator(entries.begin()),
                     std::make_move_iterator(entries.end()));
+    if (plans_out != nullptr)
+        plans_out->insert(plans_out->end(),
+                          std::make_move_iterator(plans.begin()),
+                          std::make_move_iterator(plans.end()));
     return r;
 }
 
@@ -434,6 +601,29 @@ saveCacheSnapshot(const SharedDecompositionCache &cache,
     const size_t entry_count = entries.size();
     const std::vector<uint8_t> bytes =
         encodeCacheSnapshot(std::move(entries));
+    FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return fail(CacheIoStatus::IoError,
+                    "cannot open " + path + " for writing");
+    const size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool closed = std::fclose(f) == 0;
+    if (written != bytes.size() || !closed)
+        return fail(CacheIoStatus::IoError, "short write to " + path);
+    CacheIoResult r;
+    r.entries = entry_count;
+    r.bytes = bytes.size();
+    return r;
+}
+
+CacheIoResult
+saveCacheSnapshot(const SharedDecompositionCache &cache,
+                  const PlanCache &plans, const std::string &path)
+{
+    std::vector<CacheSnapshotEntry> entries = cache.exportEntries();
+    const size_t entry_count = entries.size();
+    const std::vector<uint8_t> bytes = encodeCacheSnapshot(
+        std::move(entries), plans.exportPlans());
     FILE *f = std::fopen(path.c_str(), "wb");
     if (f == nullptr)
         return fail(CacheIoStatus::IoError,
@@ -469,18 +659,31 @@ CacheIoResult
 loadCacheSnapshot(const std::string &path,
                   SharedDecompositionCache &cache)
 {
+    return loadCacheSnapshot(path, cache, nullptr);
+}
+
+CacheIoResult
+loadCacheSnapshot(const std::string &path,
+                  SharedDecompositionCache &cache, PlanCache *plans)
+{
     std::vector<uint8_t> bytes;
     if (!readFileBytes(path, &bytes))
         return fail(CacheIoStatus::IoError, "cannot read " + path);
 
     std::vector<CacheSnapshotEntry> entries;
+    std::vector<TranspilePlan> loaded_plans;
     CacheIoResult r =
-        decodeCacheSnapshot(bytes.data(), bytes.size(), &entries);
+        decodeCacheSnapshot(bytes.data(), bytes.size(), &entries,
+                            plans != nullptr ? &loaded_plans : nullptr);
     if (!r.ok())
         return r;
     for (CacheSnapshotEntry &e : entries) {
         if (cache.insertLoaded(e.first, std::move(e.second)))
             ++r.merged;
+    }
+    if (plans != nullptr) {
+        for (TranspilePlan &plan : loaded_plans)
+            plans->insertLoaded(std::move(plan));
     }
     return r;
 }

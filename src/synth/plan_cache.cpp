@@ -1,0 +1,154 @@
+#include "synth/plan_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qbasis {
+
+std::shared_ptr<const TranspilePlan>
+PlanCache::lookup(const PlanKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = plans_.find(key);
+    return it != plans_.end() ? it->second.plan : nullptr;
+}
+
+bool
+PlanCache::lookupMemo(const PlanKey &key, uint64_t fingerprint,
+                      PlanMemoResult *out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = plans_.find(key);
+    if (it == plans_.end() || !it->second.has_memo ||
+        it->second.memo_fingerprint != fingerprint)
+        return false;
+    *out = it->second.memo;
+    ++memo_hits_;
+    return true;
+}
+
+void
+PlanCache::store(TranspilePlan plan)
+{
+    auto shared =
+        std::make_shared<const TranspilePlan>(std::move(plan));
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &e = plans_[shared->key];
+    e.plan = std::move(shared);
+    e.has_memo = false;
+    ++stores_;
+}
+
+void
+PlanCache::memoize(const PlanKey &key, uint64_t fingerprint,
+                   const PlanMemoResult &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = plans_.find(key);
+    if (it == plans_.end())
+        return;
+    it->second.has_memo = true;
+    it->second.memo_fingerprint = fingerprint;
+    it->second.memo = result;
+}
+
+void
+PlanCache::noteReplayHit()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++replay_hits_;
+}
+
+void
+PlanCache::noteMiss()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+}
+
+size_t
+PlanCache::retire(const std::vector<DeviceEpoch> &live)
+{
+    const auto isLive = [&](const DeviceEpoch &de) {
+        const auto it = std::lower_bound(
+            live.begin(), live.end(), de.device_id,
+            [](const DeviceEpoch &a, int device) {
+                return a.device_id < device;
+            });
+        return it != live.end() && it->device_id == de.device_id &&
+               it->epoch == de.epoch;
+    };
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t dropped = 0;
+    for (auto it = plans_.begin(); it != plans_.end();) {
+        const std::vector<DeviceEpoch> &epochs = it->first.epochs;
+        const bool alive =
+            std::all_of(epochs.begin(), epochs.end(), isLive);
+        if (alive) {
+            ++it;
+        } else {
+            it = plans_.erase(it);
+            ++dropped;
+        }
+    }
+    retired_ += dropped;
+    return dropped;
+}
+
+size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plans_.size();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plans_.clear();
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PlanCacheStats st;
+    st.memo_hits = memo_hits_;
+    st.replay_hits = replay_hits_;
+    st.misses = misses_;
+    st.stores = stores_;
+    st.retired = retired_;
+    st.loaded = loaded_;
+    st.plans = plans_.size();
+    return st;
+}
+
+std::vector<TranspilePlan>
+PlanCache::exportPlans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TranspilePlan> out;
+    out.reserve(plans_.size());
+    for (const auto &[key, entry] : plans_)
+        out.push_back(*entry.plan); // map order == key-sorted
+    return out;
+}
+
+bool
+PlanCache::insertLoaded(TranspilePlan plan)
+{
+    auto shared =
+        std::make_shared<const TranspilePlan>(std::move(plan));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] =
+        plans_.try_emplace(shared->key, Entry{});
+    if (!inserted)
+        return false; // resident entry wins
+    it->second.plan = std::move(shared);
+    ++loaded_;
+    return true;
+}
+
+} // namespace qbasis

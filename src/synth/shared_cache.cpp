@@ -165,6 +165,17 @@ SharedDecompositionCache::wait(const ClassKey &key, uint64_t lookups)
     }
 }
 
+const TwoQubitDecomposition *
+SharedDecompositionCache::peekPublished(const ClassKey &key) const
+{
+    const Stripe &s = stripeOf(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.entries.find(key);
+    if (it == s.entries.end() || !it->second.ready)
+        return nullptr;
+    return &it->second.dec;
+}
+
 SharedDecompositionCache::Stats
 SharedDecompositionCache::stats() const
 {

@@ -131,6 +131,19 @@ class SharedDecompositionCache
         }
     };
 
+    /**
+     * Plan-replay lookup: the published decomposition of `key`, or
+     * nullptr if the class is absent or still being synthesized.
+     * Credits NO hit/miss counters and no per-device lookups -- the
+     * plan tier does its own accounting (PlanCache::Stats), so the
+     * Weyl-tier hit-rate semantics (bench_persist warm rates, fleet
+     * cross-device rates) are unchanged by plan traffic. Pointer
+     * validity follows the same rules as acquire(): stable until
+     * clear()/retireExcept(), which must not run concurrently.
+     */
+    const TwoQubitDecomposition *peekPublished(const ClassKey &key)
+        const;
+
     Stats stats() const;
 
     uint64_t hits() const { return hits_.load(); }

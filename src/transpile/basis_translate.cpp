@@ -176,6 +176,46 @@ translateToEdgeBases(const Circuit &physical, const CouplingMap &cm,
                            });
 }
 
+std::optional<Circuit>
+translateFromPublishedClasses(
+    const Circuit &physical, const CouplingMap &cm,
+    const std::vector<EdgeBasis> &bases,
+    const SynthOptions &synth_opts,
+    const std::function<const TwoQubitDecomposition *(
+        const DecompositionCache::ClassKey &)> &peek,
+    BasisTranslationStats *stats)
+{
+    if (bases.size() != cm.edges().size())
+        fatal("edge basis table size %zu != edge count %zu",
+              bases.size(), cm.edges().size());
+
+    // Pre-pass: dress every 2Q gate from its published class. Bail
+    // before emitting anything if a class is missing, so a partial
+    // replay never escapes.
+    std::vector<TwoQubitDecomposition> dressed;
+    for (const Gate &g : physical.gates()) {
+        if (!g.isTwoQubit())
+            continue;
+        const int eid = edgeIdOf(g, cm);
+        const Mat4 target = orientedTarget(g, cm, eid);
+        const CanonicalKak kak = canonicalKakDecompose(target);
+        const DecompositionCache::ClassKey key =
+            DecompositionCache::classKey(
+                kak.coords, bases[static_cast<size_t>(eid)].gate,
+                synth_opts);
+        const TwoQubitDecomposition *cls = peek(key);
+        if (cls == nullptr)
+            return std::nullopt;
+        dressed.push_back(DecompositionCache::dressClassDecomposition(
+            *cls, kak, target));
+    }
+
+    return emitTranslation(physical, cm, bases, stats,
+                           [&](const Gate &, int, size_t idx) {
+                               return std::move(dressed[idx]);
+                           });
+}
+
 DurationModel
 edgeDurationModel(const CouplingMap &cm,
                   const std::vector<EdgeBasis> &bases, double t_1q_ns)

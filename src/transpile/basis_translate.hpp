@@ -9,6 +9,8 @@
  * (paper Section VII).
  */
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,25 @@ Circuit translateToEdgeBases(const Circuit &physical,
                              const SynthClient &client,
                              const SynthOptions &synth_opts,
                              BasisTranslationStats *stats = nullptr);
+
+/**
+ * Plan-replay translation: rewrite `physical` using only already
+ * published Weyl-class decompositions, looked up through `peek`
+ * (no synthesis, no cache mutation). Returns std::nullopt as soon as
+ * any 2Q gate's class is not yet published, in which case the caller
+ * must fall back to a full translate.
+ *
+ * Emission goes through the same loop as the synthesizing paths, so
+ * for a fixed published class set the output is bit-identical to
+ * what translateToEdgeBases would produce.
+ */
+std::optional<Circuit> translateFromPublishedClasses(
+    const Circuit &physical, const CouplingMap &cm,
+    const std::vector<EdgeBasis> &bases,
+    const SynthOptions &synth_opts,
+    const std::function<const TwoQubitDecomposition *(
+        const DecompositionCache::ClassKey &)> &peek,
+    BasisTranslationStats *stats = nullptr);
 
 /**
  * Duration model for translated circuits: 1Q gates take t_1q_ns,

@@ -9,7 +9,8 @@ namespace qbasis {
 TranspileResult
 transpileCircuit(const Circuit &logical, const CouplingMap &cm,
                  const std::vector<EdgeBasis> &bases,
-                 const SynthRoute &route, const TranspileOptions &opts)
+                 const SynthRoute &route, const TranspileOptions &opts,
+                 RoutedCircuit *captured_routing)
 {
     QBASIS_TRACE_SCOPE("transpile.pipeline", "gates", logical.size(),
                        "qubits",
@@ -26,6 +27,8 @@ transpileCircuit(const Circuit &logical, const CouplingMap &cm,
     result.initial_layout = routed.initial_layout;
     result.final_layout = routed.final_layout;
     result.swaps_inserted = routed.swaps_inserted;
+    if (captured_routing != nullptr)
+        *captured_routing = routed;
 
     const Circuit merged = mergeSingleQubitRuns(routed.circuit);
     QBASIS_TRACE_SCOPE("transpile.translate", "gates", merged.size());

@@ -56,12 +56,17 @@ struct TranspileResult
  * @param cm       device coupling graph.
  * @param bases    per-edge basis gates (indexed by edge id).
  * @param route    synthesis routing (cache + engine selection).
+ * @param captured_routing  when non-null, receives a copy of the
+ *        routed circuit (with its source map) so the caller can
+ *        capture a transpile plan (see transpile/plan.hpp).
  */
 TranspileResult transpileCircuit(const Circuit &logical,
                                  const CouplingMap &cm,
                                  const std::vector<EdgeBasis> &bases,
                                  const SynthRoute &route = {},
-                                 const TranspileOptions &opts = {});
+                                 const TranspileOptions &opts = {},
+                                 RoutedCircuit *captured_routing =
+                                     nullptr);
 
 /**
  * @deprecated Legacy overload; use the SynthRoute entry point with

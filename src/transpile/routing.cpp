@@ -83,6 +83,7 @@ sabreRoute(const Circuit &logical, const CouplingMap &cm,
         for (int &q : g.qubits)
             q = layout[q];
         out.circuit.append(std::move(g));
+        out.sources.push_back(static_cast<int>(gi));
     };
 
     auto advance = [&](size_t gi, std::vector<size_t> &next_front) {
@@ -230,6 +231,7 @@ sabreRoute(const Circuit &logical, const CouplingMap &cm,
 
         const auto [pa, pb] = cm.edges()[best_edge];
         out.circuit.swap(pa, pb);
+        out.sources.push_back(-1);
         ++out.swaps_inserted;
         std::swap(inverse[pa], inverse[pb]);
         if (inverse[pa] >= 0)

@@ -32,6 +32,10 @@ struct RoutedCircuit
     std::vector<int> initial_layout; ///< logical -> physical.
     std::vector<int> final_layout;   ///< logical -> physical at end.
     size_t swaps_inserted = 0;    ///< Number of SWAP gates added.
+    /// Logical gate index behind each emitted gate; -1 for inserted
+    /// SWAPs. Lets a transpile plan replay the routing program on a
+    /// structurally identical circuit with different parameters.
+    std::vector<int> sources;
 
     RoutedCircuit() : circuit(1) {}
 };

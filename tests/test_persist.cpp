@@ -489,9 +489,9 @@ TEST_F(PersistTest, MismatchesReportTheSpecificStatus)
         // CRC: the quantum check itself must fire.
         std::vector<uint8_t> bad = bytes;
         bad[16] ^= 0x01u; // low mantissa byte of coord_quantum
-        const uint32_t crc = cacheCrc32(bad.data(), 88);
+        const uint32_t crc = cacheCrc32(bad.data(), 120);
         for (int i = 0; i < 4; ++i)
-            bad[88 + static_cast<size_t>(i)] =
+            bad[120 + static_cast<size_t>(i)] =
                 static_cast<uint8_t>(crc >> (8 * i));
         EXPECT_EQ(decodeCacheSnapshot(bad.data(), bad.size(), nullptr)
                       .status,
@@ -547,13 +547,13 @@ TEST_F(PersistTest, CraftedOverflowHeadersAreRejected)
                 static_cast<uint8_t>(v >> (8 * i));
     };
     const auto reseal = [](std::vector<uint8_t> &buf) {
-        const uint32_t crc = cacheCrc32(buf.data(), 88);
+        const uint32_t crc = cacheCrc32(buf.data(), 120);
         for (int i = 0; i < 4; ++i)
-            buf[88 + static_cast<size_t>(i)] =
+            buf[120 + static_cast<size_t>(i)] =
                 static_cast<uint8_t>(crc >> (8 * i));
     };
-    // Header layout: entry_count @32, index_size @48,
-    // payload_off @64, payload_size @72.
+    // Header layout (v3): entry_count @32, index_size @56,
+    // payload_off @72, payload_size @80.
     struct Forge
     {
         uint64_t entry_count, index_size, payload_off, payload_size;
@@ -565,18 +565,18 @@ TEST_F(PersistTest, CraftedOverflowHeadersAreRejected)
         // modulo 2^64.
         const uint64_t count = UINT64_MAX / 48 + 2;
         const uint64_t wrapped = count * 48ull; // intentional wrap
-        forges.push_back({count, wrapped, 92ull + wrapped,
+        forges.push_back({count, wrapped, 124ull + wrapped,
                           static_cast<uint64_t>(0)});
     }
-    forges.push_back({0, 0, 92, UINT64_MAX - 50}); // off + size wraps
+    forges.push_back({0, 0, 124, UINT64_MAX - 50}); // off + size wraps
     forges.push_back(
         {UINT64_MAX, UINT64_MAX - 15, 76, UINT64_MAX});
     for (const Forge &forge : forges) {
         std::vector<uint8_t> bad = bytes;
         patch_u64(bad, 32, forge.entry_count);
-        patch_u64(bad, 48, forge.index_size);
-        patch_u64(bad, 64, forge.payload_off);
-        patch_u64(bad, 72, forge.payload_size);
+        patch_u64(bad, 56, forge.index_size);
+        patch_u64(bad, 72, forge.payload_off);
+        patch_u64(bad, 80, forge.payload_size);
         reseal(bad);
         std::vector<CacheSnapshotEntry> out;
         const CacheIoResult r =
