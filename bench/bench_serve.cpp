@@ -90,6 +90,7 @@
 #include "apps/bv.hpp"
 #include "apps/qaoa.hpp"
 #include "apps/qft.hpp"
+#include "apps/workloads.hpp"
 #include "calib/drift.hpp"
 #include "obs/metrics.hpp"
 #include "serve/compile_service.hpp"
@@ -508,11 +509,16 @@ zipfAnsatz(int n, double theta)
     return c;
 }
 
-constexpr size_t kZipfShapes = 8;
+constexpr size_t kZipfShapes = 12;
 
 Circuit
 zipfShapeCircuit(size_t shape, double theta)
 {
+    // Tail ranks 8..11 come from the registered workload zoo
+    // (apps/workloads.hpp) at fixed angles, so their repeats are
+    // memo-tier traffic like the rest of the fixed head.
+    WorkloadParams zoo;
+    zoo.qubits = 4;
     switch (shape) {
     case 0: return qftCircuit(3);
     case 1: return qftCircuit(2);
@@ -526,7 +532,18 @@ zipfShapeCircuit(size_t shape, double theta)
         return qaoaErdosRenyiCircuit(4, 0.5, qp);
     }
     case 6: return zipfAnsatz(4, theta);
-    default: return bvAllOnesCircuit(4);
+    case 7: return bvAllOnesCircuit(4);
+    case 8: return makeWorkload("ising", zoo);
+    case 9:
+        zoo.theta = 0.42;
+        return makeWorkload("heisenberg", zoo);
+    case 10:
+        zoo.depth = 2;
+        return makeWorkload("rcs", zoo);
+    default:
+        zoo.depth = 2;
+        zoo.seed = 7; // distinct sampled gates from rank 10
+        return makeWorkload("rcs", zoo);
     }
 }
 
@@ -534,9 +551,11 @@ zipfShapeCircuit(size_t shape, double theta)
  * A Zipf(s)-distributed stream over kZipfShapes shapes. Rank order is
  * popularity order: the head ranks are fixed circuits whose repeats
  * are exact (memo-tier traffic); ranks 3 and 6 are parametric ansatz
- * shapes drawn with a fresh angle every time (replay-tier traffic).
- * Each shape is pinned to device (shape % devices), so its repeats
- * always carry the same (device, epoch) plan key.
+ * shapes drawn with a fresh angle every time (replay-tier traffic);
+ * the tail ranks (8+) are fixed-angle workload-zoo circuits
+ * (trotterized Ising/Heisenberg, RCS layers). Each shape is pinned
+ * to device (shape % devices), so its repeats always carry the same
+ * (device, epoch) plan key.
  */
 std::vector<CompileRequest>
 zipfRequestMix(int devices, int count, double exponent, uint64_t seed)
@@ -550,7 +569,8 @@ zipfRequestMix(int devices, int count, double exponent, uint64_t seed)
     }
     static const char *const names[kZipfShapes] = {
         "qft3", "qft2", "bv3", "ansatz3",
-        "qft4", "qaoa4", "ansatz4", "bv4"};
+        "qft4", "qaoa4", "ansatz4", "bv4",
+        "ising4", "heisenberg4", "rcs4", "rcs4b"};
     Rng rng(seed);
     std::vector<CompileRequest> reqs;
     reqs.reserve(static_cast<size_t>(count));

@@ -2,9 +2,10 @@
 """CI bench-regression gate.
 
 Reads BENCH_synth.json, BENCH_fleet.json, BENCH_recalib.json,
-BENCH_persist.json, BENCH_serve.json, BENCH_mat4.json, and
-BENCH_obs.json (produced by the corresponding --quick bench runs)
-and gates on the floors committed in bench/baselines.json:
+BENCH_persist.json, BENCH_serve.json, BENCH_mat4.json,
+BENCH_obs.json, and BENCH_scale.json (produced by the corresponding
+--quick bench runs) and gates on the floors committed in
+bench/baselines.json:
 
   * every workload's engine/serial agreement (results_match),
   * fleet bit-determinism at 1 vs N shards,
@@ -24,6 +25,11 @@ and gates on the floors committed in bench/baselines.json:
   * plan cache: the Zipf sub-suite's plan-on vs plan-off digest
     bit-identity, the p50 speedup floor, and both tiers (memo and
     replay) actually serving,
+  * fleet scale: 1-vs-N-shard bit-determinism on a 100+ qubit
+    heavy-hex lattice with per-edge heterogeneous bases, cross-edge
+    shared-cache dedupe and plan-memo floors at the top curve point,
+    plan retirement after the drift cycle, a top-point wall-time
+    ceiling, and nonzero settled-snapshot bytes on every point,
   * observability: a ceiling on the disabled-path span cost (the
     zero-perturbation budget: a few ns) and the enabled-path cost,
     a valid Chrome-trace export round trip, and byte-identical
@@ -49,7 +55,8 @@ nonzero when any row fails. Pure stdlib.
 Usage: scripts/check_bench.py [--synth PATH] [--fleet PATH]
                               [--recalib PATH] [--persist PATH]
                               [--serve PATH] [--mat4 PATH]
-                              [--obs PATH] [--baselines PATH]
+                              [--obs PATH] [--scale PATH]
+                              [--baselines PATH]
 """
 
 import argparse
@@ -475,6 +482,66 @@ def check_obs(bench, base, gate):
         gate.require("obs.digests.fleet_match", dig.get("fleet_match"))
 
 
+def check_scale(bench, base, gate):
+    floors = base.get("scale", {})
+    det = bench.get("determinism", {})
+    if floors.get("require_determinism"):
+        gate.check(
+            "scale.determinism.results_match",
+            bool(det.get("results_match")),
+            f"{det.get('shards_a')} vs {det.get('shards_b')} shards "
+            "bit-identical",
+            det.get("results_match"),
+        )
+    floor = floors.get("min_determinism_qubits")
+    if floor is not None:
+        gate.floor(
+            "scale.determinism.qubits", det.get("qubits", 0), floor
+        )
+    top = bench.get("top", {})
+    floor = floors.get("min_top_edges")
+    if floor is not None:
+        gate.floor("scale.top.edges", top.get("edges", 0), floor)
+    floor = floors.get("min_dedupe_ratio")
+    if floor is not None:
+        gate.floor(
+            "scale.top.dedupe_ratio",
+            top.get("dedupe_ratio", 0.0),
+            floor,
+        )
+    floor = floors.get("min_plan_memo_hits")
+    if floor is not None:
+        gate.floor(
+            "scale.top.plan_memo_hits",
+            top.get("plan_memo_hits", 0),
+            floor,
+        )
+    floor = floors.get("min_plans_retired")
+    if floor is not None:
+        gate.floor(
+            "scale.top.plans_retired",
+            top.get("plans_retired", 0),
+            floor,
+        )
+    ceiling = floors.get("max_top_point_wall_ms")
+    if ceiling is not None:
+        gate.ceiling(
+            "scale.top.point_wall_ms",
+            top.get("point_wall_ms", float("inf")),
+            ceiling,
+        )
+    # Snapshot accounting must be live on every curve point: a point
+    # whose settled cache would serialize to zero bytes cached
+    # nothing at all.
+    if floors.get("require_snapshot_bytes"):
+        for name, point in sorted(bench.get("points", {}).items()):
+            gate.floor(
+                f"scale[{name}].snapshot_bytes",
+                point.get("snapshot_bytes", 0),
+                1,
+            )
+
+
 def floor_keys(section):
     """Flattened floor keys of one baselines section (nested dicts
     like min_speedup.gate_sweep become dotted keys)."""
@@ -509,6 +576,7 @@ def main():
     parser.add_argument("--serve", default=REPO / "BENCH_serve.json")
     parser.add_argument("--mat4", default=REPO / "BENCH_mat4.json")
     parser.add_argument("--obs", default=REPO / "BENCH_obs.json")
+    parser.add_argument("--scale", default=REPO / "BENCH_scale.json")
     parser.add_argument(
         "--baselines", default=REPO / "bench" / "baselines.json"
     )
@@ -532,6 +600,7 @@ def main():
         ("serve", args.serve, check_serve),
         ("mat4", args.mat4, check_mat4),
         ("obs", args.obs, check_obs),
+        ("scale", args.scale, check_scale),
     )
     # Every baselines section must have a consumer above: a section
     # whose BENCH file is never emitted (renamed bench, dropped run)

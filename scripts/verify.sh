@@ -6,9 +6,10 @@
 #
 #   --quick    skip the bench pass (bench_synth + bench_fleet +
 #              bench_recalib + bench_persist + bench_serve +
-#              bench_mat4 + bench_obs + scripts/check_bench.py); the
-#              mat4, fleet, recalib, persist, serve, obs, and fault
-#              smokes still run so every matrix job exercises the SIMD
+#              bench_mat4 + bench_obs + bench_scale +
+#              scripts/check_bench.py); the docs gate and the
+#              mat4, fleet, recalib, persist, serve, obs, scale,
+#              and fault smokes still run so every matrix job exercises the SIMD
 #              kernel bit-identity check, the sharded driver, the
 #              async retune pipeline, the snapshot round trip, the
 #              serving daemon's admission/determinism contracts, the
@@ -79,6 +80,15 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure --timeout 1200 \
 # the exit code.
 "$BUILD_DIR/bench_obs" --smoke
 
+# Scale smoke: one heterogeneous heavy-hex lattice through the full
+# serving lifecycle; sharded bit-determinism, cross-edge dedupe, and
+# plan-tier traffic are the exit code.
+"$BUILD_DIR/bench_scale" --smoke
+
+# Docs gate: every intra-repo link and code path in docs/*.md and
+# README.md must resolve against the working tree.
+python3 scripts/check_docs.py
+
 # Fault smokes: degraded-mode replays under pinned fault seeds (ones
 # that retry, contain, and quarantine at smoke scale; for serve, shed
 # at admission and serve through a fully quarantined fleet). Run
@@ -95,6 +105,7 @@ if [ "$QUICK" = 0 ]; then
   "$BUILD_DIR/bench_serve" --quick
   "$BUILD_DIR/bench_mat4" --quick
   "$BUILD_DIR/bench_obs" --quick
+  "$BUILD_DIR/bench_scale" --quick
   python3 scripts/check_bench.py
 fi
 echo "verify: OK"

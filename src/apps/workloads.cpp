@@ -1,0 +1,154 @@
+#include "apps/workloads.hpp"
+
+#include <algorithm>
+
+#include "apps/cuccaro.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace qbasis {
+
+namespace {
+
+/** Brickwork RZZ over the chain: even bonds, then odd bonds. */
+void
+appendBrickworkRzz(Circuit &c, int n, double theta)
+{
+    for (int parity = 0; parity < 2; ++parity)
+        for (int q = parity; q + 1 < n; q += 2)
+            c.rzz(q, q + 1, theta);
+}
+
+} // namespace
+
+Circuit
+trotterIsingCircuit(const WorkloadParams &params)
+{
+    const int n = std::max(2, params.qubits);
+    const int steps = std::max(1, params.depth);
+    Circuit c(n);
+    for (int s = 0; s < steps; ++s) {
+        for (int q = 0; q < n; ++q)
+            c.rx(q, params.theta);
+        appendBrickworkRzz(c, n, params.theta);
+    }
+    return c;
+}
+
+Circuit
+trotterHeisenbergCircuit(const WorkloadParams &params)
+{
+    const int n = std::max(2, params.qubits);
+    const int steps = std::max(1, params.depth);
+    Circuit c(n);
+    for (int s = 0; s < steps; ++s) {
+        for (int parity = 0; parity < 2; ++parity) {
+            for (int q = parity; q + 1 < n; q += 2) {
+                // XX: conjugate ZZ into the X basis.
+                c.h(q);
+                c.h(q + 1);
+                c.rzz(q, q + 1, params.theta);
+                c.h(q);
+                c.h(q + 1);
+                // YY: conjugate ZZ into the Y basis.
+                c.rx(q, kPi / 2);
+                c.rx(q + 1, kPi / 2);
+                c.rzz(q, q + 1, params.theta);
+                c.rx(q, -kPi / 2);
+                c.rx(q + 1, -kPi / 2);
+                // ZZ.
+                c.rzz(q, q + 1, params.theta);
+            }
+        }
+    }
+    return c;
+}
+
+Circuit
+rcsLayersCircuit(const WorkloadParams &params)
+{
+    const int n = std::max(2, params.qubits);
+    const int layers = std::max(1, params.depth);
+    Circuit c(n);
+    Rng rng(Rng::deriveSeed(params.seed,
+                            static_cast<uint64_t>(n)));
+    for (int l = 0; l < layers; ++l) {
+        for (int q = 0; q < n; ++q) {
+            switch (rng.uniformInt(3)) {
+            case 0: c.rx(q, kPi / 2); break; // sqrt-X
+            case 1: c.ry(q, kPi / 2); break; // sqrt-Y
+            default: c.t(q); break;
+            }
+        }
+        for (int q = l % 2; q + 1 < n; q += 2)
+            c.cz(q, q + 1);
+    }
+    return c;
+}
+
+Circuit
+adderChainCircuit(const WorkloadParams &params)
+{
+    // Cuccaro needs an even register of at least 6 qubits.
+    int n = std::max(6, params.qubits);
+    n -= n % 2;
+    const int repeats = std::max(1, params.depth);
+    Circuit chain = cuccaroAdderByTotalQubits(n);
+    const Circuit adder = chain;
+    for (int r = 1; r < repeats; ++r)
+        chain.extend(adder);
+    return chain;
+}
+
+const std::vector<WorkloadInfo> &
+workloadZoo()
+{
+    static const std::vector<WorkloadInfo> zoo = {
+        {"ising", "trotter",
+         "trotterized transverse-field Ising chain (RX + brickwork "
+         "RZZ per step)",
+         &trotterIsingCircuit},
+        {"heisenberg", "trotter",
+         "trotterized Heisenberg chain (XX/YY/ZZ terms via "
+         "basis-conjugated RZZ)",
+         &trotterHeisenbergCircuit},
+        {"rcs", "sampling",
+         "random-circuit sampling layers (seeded 1Q gates + CZ "
+         "brickwork entanglers)",
+         &rcsLayersCircuit},
+        {"adder_chain", "arithmetic",
+         "deep ripple-carry adder chain (Cuccaro adders back-to-back)",
+         &adderChainCircuit},
+    };
+    return zoo;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &w : workloadZoo())
+        if (w.name == name)
+            return &w;
+    return nullptr;
+}
+
+Circuit
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    const WorkloadInfo *info = findWorkload(name);
+    if (info == nullptr)
+        fatal("unknown workload '%s'", name.c_str());
+    return info->make(params);
+}
+
+CompileRequest
+workloadRequest(uint64_t request_id, int device_id,
+                const std::string &name, const WorkloadParams &params)
+{
+    Circuit circuit = makeWorkload(name, params);
+    return CompileRequest(request_id, device_id,
+                          name + std::to_string(circuit.numQubits()),
+                          std::move(circuit));
+}
+
+} // namespace qbasis

@@ -1,0 +1,113 @@
+#ifndef QBASIS_APPS_WORKLOADS_HPP
+#define QBASIS_APPS_WORKLOADS_HPP
+
+/**
+ * @file
+ * Registered workload zoo: the benchmark circuits beyond
+ * QFT/QAOA/BV/Cuccaro, built from the standard elementary-gate
+ * constructions (Barenco et al.) and exposed through a name-keyed
+ * registry so benches and the serving layer can draw workloads
+ * without hard-coding generators.
+ *
+ * Families (see docs/workloads.md for the full catalog):
+ *  - trotter:    first-order trotterized Ising / Heisenberg
+ *                evolution on a nearest-neighbor chain. Fixed-angle
+ *                RZZ terms map to one Weyl class per edge, so
+ *                repeats are memo/shared-cache traffic; a fresh
+ *                angle per request shifts the class and stresses
+ *                the full synthesis path instead.
+ *  - sampling:   random-circuit sampling layers (brickwork CZ/CX
+ *                entanglers under seeded random 1Q gates) -- the
+ *                entangler class is shared across every edge, so
+ *                RCS measures pure cross-edge dedupe at fan-out.
+ *  - arithmetic: deep ripple-carry adder chains (Cuccaro adders
+ *                applied back-to-back), the long-circuit stress for
+ *                routing and the plan-replay tier.
+ *
+ * Every generator is a pure function of WorkloadParams, so request
+ * streams built from the zoo inherit the serving layer's determinism
+ * contract (serve/api.hpp).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "serve/api.hpp"
+
+namespace qbasis {
+
+/** Knobs of one zoo circuit (every generator reads a subset). */
+struct WorkloadParams
+{
+    int qubits = 4;       ///< Register size (generators clamp to
+                          ///< their own minimum).
+    int depth = 1;        ///< Trotter steps / RCS layers / chained
+                          ///< adders.
+    double theta = 0.35;  ///< Rotation angle of the trotterized
+                          ///< two-qubit terms.
+    uint64_t seed = 2022; ///< RCS gate-sampling seed.
+};
+
+/** One registered generator of the zoo. */
+struct WorkloadInfo
+{
+    std::string name;        ///< Registry key ("ising", ...).
+    std::string family;      ///< "trotter", "sampling", "arithmetic".
+    std::string description; ///< One-line catalog entry.
+    Circuit (*make)(const WorkloadParams &params);
+};
+
+/**
+ * First-order trotterized transverse-field Ising evolution on a
+ * nearest-neighbor chain: per step, RX(theta) on every qubit, then
+ * RZZ(theta) over even bonds, then odd bonds (brickwork order keeps
+ * the logical depth independent of the chain length).
+ */
+Circuit trotterIsingCircuit(const WorkloadParams &params);
+
+/**
+ * First-order trotterized Heisenberg (XXX) evolution on a chain:
+ * per bond, the XX and YY terms are RZZ conjugated into the X/Y
+ * bases by H and RX(+-pi/2) respectively, then the bare ZZ term --
+ * three two-qubit interactions per bond, all in the same RZZ(theta)
+ * Weyl class (basis changes are one-qubit).
+ */
+Circuit trotterHeisenbergCircuit(const WorkloadParams &params);
+
+/**
+ * Random-circuit sampling layers: per layer, a seeded random
+ * one-qubit gate from {sqrt-X, sqrt-Y, T} on every qubit, then CZ
+ * brickwork entanglers on alternating bonds.
+ */
+Circuit rcsLayersCircuit(const WorkloadParams &params);
+
+/**
+ * Deep ripple-carry adder chain: `depth` Cuccaro adders applied
+ * back-to-back on the same (even-sized, >= 6 qubit) register.
+ */
+Circuit adderChainCircuit(const WorkloadParams &params);
+
+/** The full registry, in stable catalog order. */
+const std::vector<WorkloadInfo> &workloadZoo();
+
+/** Registry lookup by name; nullptr when unknown. */
+const WorkloadInfo *findWorkload(const std::string &name);
+
+/** Build a zoo circuit by registry name (fatal on unknown names). */
+Circuit makeWorkload(const std::string &name,
+                     const WorkloadParams &params = {});
+
+/**
+ * Build a serve/api CompileRequest from a zoo entry: the request
+ * name is "<workload><qubits>" (e.g. "ising12"), matching the
+ * naming convention of the existing benchmark circuits.
+ */
+CompileRequest workloadRequest(uint64_t request_id, int device_id,
+                               const std::string &name,
+                               const WorkloadParams &params = {});
+
+} // namespace qbasis
+
+#endif // QBASIS_APPS_WORKLOADS_HPP

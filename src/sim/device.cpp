@@ -5,12 +5,40 @@
 
 namespace qbasis {
 
+namespace {
+
+CouplingMap
+makeCoupling(const GridDeviceParams &params)
+{
+    switch (params.topology) {
+    case DeviceTopology::HeavyHex:
+        return CouplingMap::heavyHex(params.rows, params.cols);
+    case DeviceTopology::Grid:
+        break;
+    }
+    return CouplingMap::grid(params.rows, params.cols);
+}
+
+} // namespace
+
 GridDevice::GridDevice(const GridDeviceParams &params)
-    : params_(params),
-      coupling_(CouplingMap::grid(params.rows, params.cols))
+    : params_(params), coupling_(makeCoupling(params))
 {
     if (params.rows < 1 || params.cols < 1)
         fatal("GridDevice needs positive dimensions");
+
+    group_.resize(coupling_.numQubits());
+    for (int q = 0; q < coupling_.numQubits(); ++q) {
+        if (params_.topology == DeviceTopology::Grid) {
+            const int r = q / params_.cols;
+            const int c = q % params_.cols;
+            group_[q] = (r + c) % 2 == 1;
+        } else {
+            // Bipartite lattice: color by BFS parity from qubit 0
+            // (equals the checkerboard color on a grid).
+            group_[q] = coupling_.distance(0, q) % 2 == 1;
+        }
+    }
 
     Rng rng(params.seed);
     freq_.resize(coupling_.numQubits());
@@ -19,14 +47,6 @@ GridDevice::GridDevice(const GridDeviceParams &params)
                                                : params.f_low_ghz;
         freq_[q] = ghz(rng.normal(mean, params.rel_std * mean));
     }
-}
-
-bool
-GridDevice::isHighFrequency(int q) const
-{
-    const int r = q / params_.cols;
-    const int c = q % params_.cols;
-    return (r + c) % 2 == 1;
 }
 
 PairDeviceParams

@@ -17,6 +17,17 @@
 
 namespace qbasis {
 
+/**
+ * Lattice family of a simulated device. Grid is the paper's Fig. 7
+ * topology; HeavyHex is the IBM-style sparse lattice the paper's
+ * Section VI discusses for parallel calibration.
+ */
+enum class DeviceTopology
+{
+    Grid,     ///< rows x cols square lattice (CouplingMap::grid).
+    HeavyHex, ///< rows x cols hexagon cells (CouplingMap::heavyHex).
+};
+
 /** Parameters of the simulated grid device. */
 struct GridDeviceParams
 {
@@ -39,6 +50,14 @@ struct GridDeviceParams
     int levels_q = 3;            ///< Levels per transmon.
     int levels_c = 3;            ///< Levels for the coupler.
     uint64_t seed = 2022;        ///< Frequency sampling seed.
+    /**
+     * Lattice family. For Grid the frequency groups are the
+     * checkerboard colors; for HeavyHex (bipartite, but not a grid)
+     * the groups are the BFS-parity classes from qubit 0, which
+     * coincide with the checkerboard on a grid. Defaults to Grid so
+     * existing devices keep byte-identical frequencies.
+     */
+    DeviceTopology topology = DeviceTopology::Grid;
 };
 
 /** A sampled grid device instance. */
@@ -57,8 +76,13 @@ class GridDevice
     /** Sampled 0->1 frequency of a qubit (rad/ns). */
     double qubitFrequency(int q) const { return freq_.at(q); }
 
-    /** Checkerboard color: true for the high-frequency group. */
-    bool isHighFrequency(int q) const;
+    /**
+     * Frequency-group color: true for the high-frequency group.
+     * Checkerboard (r+c) parity on grids, BFS parity on heavy-hex;
+     * every edge couples a low- and a high-frequency qubit either
+     * way (both lattices are bipartite).
+     */
+    bool isHighFrequency(int q) const { return group_.at(q); }
 
     /**
      * Unit-cell parameters of an edge; qubit_a is the edge's
@@ -76,6 +100,7 @@ class GridDevice
     GridDeviceParams params_;
     CouplingMap coupling_;
     std::vector<double> freq_;
+    std::vector<char> group_; ///< Per-qubit frequency-group color.
 };
 
 } // namespace qbasis

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Workload-zoo tests: registry completeness and lookup, generator
+ * determinism (the zoo must be a pure function of WorkloadParams for
+ * the serving determinism contract to hold), width clamping, and the
+ * structural-hash contract that makes trotter workloads plan-replay
+ * traffic (same structure at a fresh angle) rather than plan misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+#include "transpile/plan.hpp"
+
+namespace qbasis {
+namespace {
+
+bool
+sameGates(const Circuit &a, const Circuit &b)
+{
+    if (a.numQubits() != b.numQubits() ||
+        a.gates().size() != b.gates().size())
+        return false;
+    for (size_t i = 0; i < a.gates().size(); ++i) {
+        const Gate &ga = a.gates()[i];
+        const Gate &gb = b.gates()[i];
+        if (ga.kind != gb.kind || ga.qubits != gb.qubits ||
+            ga.params != gb.params)
+            return false;
+    }
+    return true;
+}
+
+TEST(Workloads, RegistryIsCompleteAndLookupWorks)
+{
+    const auto &zoo = workloadZoo();
+    ASSERT_EQ(zoo.size(), 4u);
+    for (const char *name :
+         {"ising", "heisenberg", "rcs", "adder_chain"}) {
+        const WorkloadInfo *info = findWorkload(name);
+        ASSERT_NE(info, nullptr) << name;
+        EXPECT_EQ(info->name, name);
+        EXPECT_NE(info->make, nullptr);
+        EXPECT_FALSE(info->family.empty());
+    }
+    EXPECT_EQ(findWorkload("no_such_workload"), nullptr);
+}
+
+TEST(Workloads, GeneratorsArePureFunctionsOfParams)
+{
+    // Two calls with identical params must emit identical gate
+    // streams -- the zoo inherits serve/api's determinism contract
+    // only if there is no hidden state.
+    for (const auto &info : workloadZoo()) {
+        WorkloadParams p;
+        p.qubits = 8;
+        p.depth = 2;
+        EXPECT_TRUE(sameGates(info.make(p), info.make(p)))
+            << info.name;
+    }
+}
+
+TEST(Workloads, RcsSeedSelectsTheGateStream)
+{
+    WorkloadParams p;
+    p.qubits = 6;
+    p.depth = 2;
+    p.seed = 2022;
+    WorkloadParams q = p;
+    q.seed = 7;
+    EXPECT_TRUE(sameGates(rcsLayersCircuit(p), rcsLayersCircuit(p)));
+    EXPECT_FALSE(sameGates(rcsLayersCircuit(p), rcsLayersCircuit(q)));
+}
+
+TEST(Workloads, WidthClampingRespectsGeneratorMinimums)
+{
+    // Cuccaro needs an even register of >= 6 qubits; the chain
+    // generator clamps rather than fataling on narrow requests.
+    for (int qubits : {1, 5, 6, 7, 10}) {
+        WorkloadParams p;
+        p.qubits = qubits;
+        const Circuit c = adderChainCircuit(p);
+        EXPECT_GE(c.numQubits(), 6) << qubits;
+        EXPECT_EQ(c.numQubits() % 2, 0) << qubits;
+    }
+    // Trotter chains need at least one bond.
+    WorkloadParams narrow;
+    narrow.qubits = 1;
+    EXPECT_GE(trotterIsingCircuit(narrow).numQubits(), 2);
+    EXPECT_GE(trotterHeisenbergCircuit(narrow).numQubits(), 2);
+}
+
+TEST(Workloads, DepthScalesTwoQubitCount)
+{
+    for (const auto &info : workloadZoo()) {
+        WorkloadParams p1;
+        p1.qubits = 8;
+        p1.depth = 1;
+        WorkloadParams p3 = p1;
+        p3.depth = 3;
+        const size_t per_step = info.make(p1).countTwoQubit();
+        ASSERT_GT(per_step, 0u) << info.name;
+        if (info.name == "rcs") {
+            // RCS alternates brickwork parity per layer, so growth
+            // is monotone but not an exact multiple.
+            EXPECT_GT(info.make(p3).countTwoQubit(), per_step);
+        } else {
+            EXPECT_EQ(info.make(p3).countTwoQubit(), 3 * per_step)
+                << info.name;
+        }
+    }
+}
+
+TEST(Workloads, TrotterAngleIsParametricNotStructural)
+{
+    // The plan-cache replay tier keys on structure and falls back on
+    // parameter values: a fresh trotter angle must keep the
+    // structural hash and move only the fingerprint.
+    WorkloadParams a;
+    a.qubits = 8;
+    a.theta = 0.35;
+    WorkloadParams b = a;
+    b.theta = 0.42;
+    for (const char *name : {"ising", "heisenberg"}) {
+        const Circuit ca = makeWorkload(name, a);
+        const Circuit cb = makeWorkload(name, b);
+        EXPECT_EQ(structuralCircuitHash(ca),
+                  structuralCircuitHash(cb))
+            << name;
+        EXPECT_NE(circuitParamFingerprint(ca),
+                  circuitParamFingerprint(cb))
+            << name;
+    }
+}
+
+TEST(Workloads, MakeWorkloadDispatchesThroughTheRegistry)
+{
+    WorkloadParams p;
+    p.qubits = 6;
+    p.depth = 2;
+    EXPECT_TRUE(sameGates(makeWorkload("ising", p),
+                          trotterIsingCircuit(p)));
+    EXPECT_TRUE(sameGates(makeWorkload("rcs", p),
+                          rcsLayersCircuit(p)));
+}
+
+TEST(Workloads, WorkloadRequestCarriesNameAndCircuit)
+{
+    WorkloadParams p;
+    p.qubits = 8;
+    const CompileRequest req = workloadRequest(42, 1, "ising", p);
+    EXPECT_EQ(req.request_id, 42u);
+    EXPECT_EQ(req.device_id, 1);
+    EXPECT_EQ(req.name, "ising8");
+    EXPECT_TRUE(sameGates(req.circuit, trotterIsingCircuit(p)));
+}
+
+} // namespace
+} // namespace qbasis
